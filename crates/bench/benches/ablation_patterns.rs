@@ -1,0 +1,35 @@
+//! §5.1 ablation (Criterion form): Cut-Shortcut with each single pattern
+//! enabled versus all three, on one program — the time side of the
+//! per-pattern impact study (`table_ablation` prints the precision side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csc_core::{run_analysis, Analysis, Budget, CscConfig};
+
+fn ablation(c: &mut Criterion) {
+    let bench = csc_workloads::by_name("hsqldb").expect("suite program");
+    let program = bench.compile();
+    let mut group = c.benchmark_group("ablation_patterns");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("field_only", CscConfig::only_field()),
+        ("container_only", CscConfig::only_container()),
+        ("local_flow_only", CscConfig::only_local_flow()),
+        ("doop_mode", CscConfig::doop()),
+        ("all", CscConfig::all()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let out = run_analysis(
+                    &program,
+                    Analysis::CutShortcutWith(cfg.clone()),
+                    Budget::unlimited(),
+                );
+                out.result.state.stats.propagations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

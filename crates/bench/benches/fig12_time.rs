@@ -1,0 +1,40 @@
+//! Figure 12 (Criterion form): analysis time of CSC / CI / Zipper-e /
+//! 2type / 2obj per program. Uses the three small suite programs so that
+//! Criterion can afford repeated runs; `table_time` prints the full
+//! ten-program figure with single runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csc_core::{run_analysis, Analysis, Budget};
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_time");
+    group.sample_size(10);
+    for name in ["hsqldb", "findbugs", "jython"] {
+        let bench = csc_workloads::by_name(name).expect("suite program");
+        let program = bench.compile();
+        for (label, analysis) in [
+            ("CSC", Analysis::CutShortcut),
+            ("CI", Analysis::Ci),
+            ("Zipper-e", Analysis::ZipperE),
+            ("2type", Analysis::KType(2)),
+            ("2obj", Analysis::KObj(2)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &analysis,
+                |b, analysis| {
+                    b.iter(|| {
+                        let out =
+                            run_analysis(&program, analysis.clone(), Budget::unlimited());
+                        assert!(out.completed());
+                        out.result.state.stats.propagations
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

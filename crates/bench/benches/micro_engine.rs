@@ -1,0 +1,39 @@
+//! Engine micro-benchmarks: points-to set union, frontend compilation, and
+//! the static Cut-Shortcut preparation pass — the constant factors behind
+//! every number in the paper-level tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csc_core::csc::StaticInfo;
+use csc_core::PointsToSet;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+
+    // Points-to set union at realistic sizes.
+    let a: PointsToSet = (0..2000u32).filter(|x| x % 2 == 0).collect();
+    let b: PointsToSet = (0..2000u32).filter(|x| x % 3 == 0).collect();
+    group.bench_function("pts_union_delta_2k", |bch| {
+        bch.iter(|| {
+            let mut s = a.clone();
+            s.union_delta(&b).map(|d| d.len()).unwrap_or(0)
+        })
+    });
+
+    // Frontend end-to-end on a mid-size generated program.
+    let bench = csc_workloads::by_name("jython").expect("suite program");
+    let src = bench.source();
+    group.bench_function("frontend_compile_jython", |bch| {
+        bch.iter(|| csc_frontend::compile(&src).expect("compiles").methods().len())
+    });
+
+    // Static preparation (cutStores, CHA closure, local flow fixpoint).
+    let program = bench.compile();
+    group.bench_function("csc_static_prep_jython", |bch| {
+        bch.iter(|| StaticInfo::compute(&program).cut_load_returns.len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §5.1 recall experiment (Criterion form): cost of producing the dynamic
+//! ground truth (concrete execution) and of the recall comparison itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csc_core::{run_analysis, Analysis, Budget};
+use csc_interp::{check_recall, execute, InterpConfig};
+
+fn recall(c: &mut Criterion) {
+    let bench = csc_workloads::by_name("hsqldb").expect("suite program");
+    let program = bench.compile();
+    let mut group = c.benchmark_group("recall");
+    group.sample_size(10);
+
+    group.bench_function("execute_ground_truth", |b| {
+        b.iter(|| {
+            let t = execute(&program, InterpConfig::default()).expect("bounded");
+            (t.steps, t.call_edges.len())
+        })
+    });
+
+    let trace = execute(&program, InterpConfig::default()).expect("bounded");
+    let out = run_analysis(&program, Analysis::CutShortcut, Budget::unlimited());
+    let methods = out.result.state.reachable_methods_projected();
+    let edges = out.result.state.call_edges_projected();
+    group.bench_function("check_recall_csc", |b| {
+        b.iter(|| {
+            let r = check_recall(&trace, &methods, &edges);
+            assert!(r.full_recall());
+            r.dynamic_edges
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, recall);
+criterion_main!(benches);

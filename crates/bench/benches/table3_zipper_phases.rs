@@ -1,0 +1,56 @@
+//! Table 3 (Criterion form): the phase split of Zipper-e (pre-analysis vs
+//! selection vs selective main analysis) against one Cut-Shortcut run —
+//! the efficiency comparison behind the paper's "even Zipper-e's main
+//! analysis alone is slower than CSC" observation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csc_core::zipper::{ZipperE, ZipperOptions};
+use csc_core::{
+    run_analysis, Analysis, Budget, CiSelector, NoPlugin, ObjSelector, SelectiveSelector, Solver,
+};
+
+fn phases(c: &mut Criterion) {
+    let bench = csc_workloads::by_name("hsqldb").expect("suite program");
+    let program = bench.compile();
+    let mut group = c.benchmark_group("table3_zipper_phases");
+    group.sample_size(10);
+
+    group.bench_function("pre_analysis_ci", |b| {
+        b.iter(|| {
+            let (r, _) = Solver::new(&program, CiSelector, NoPlugin, Budget::unlimited()).solve();
+            r.state.stats.propagations
+        })
+    });
+
+    let (pre, _) = Solver::new(&program, CiSelector, NoPlugin, Budget::unlimited()).solve();
+    group.bench_function("selection", |b| {
+        b.iter(|| ZipperE::select(&program, &pre, ZipperOptions::default()).selected.len())
+    });
+
+    let zipper = ZipperE::select(&program, &pre, ZipperOptions::default());
+    group.bench_function("main_selective_2obj", |b| {
+        b.iter(|| {
+            let selector = SelectiveSelector::new(
+                ObjSelector::new(2),
+                zipper.selected.clone(),
+                "Zipper-e",
+            );
+            let (r, _) = Solver::new(&program, selector, NoPlugin, Budget::unlimited()).solve();
+            r.state.stats.propagations
+        })
+    });
+
+    group.bench_function("csc_whole", |b| {
+        b.iter(|| {
+            run_analysis(&program, Analysis::CutShortcut, Budget::unlimited())
+                .result
+                .state
+                .stats
+                .propagations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, phases);
+criterion_main!(benches);

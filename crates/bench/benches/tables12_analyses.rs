@@ -1,0 +1,35 @@
+//! Tables 1 & 2 (Criterion form): end-to-end time of each analysis
+//! *including metric computation* (the tables report both time and the four
+//! precision clients; this bench covers the whole row computation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csc_core::{run_analysis, Analysis, Budget, PrecisionMetrics};
+
+fn tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables12_row");
+    group.sample_size(10);
+    let bench = csc_workloads::by_name("hsqldb").expect("suite program");
+    let program = bench.compile();
+    for (label, analysis) in [
+        ("CI", Analysis::Ci),
+        ("2obj", Analysis::KObj(2)),
+        ("2type", Analysis::KType(2)),
+        ("Zipper-e", Analysis::ZipperE),
+        ("CSC", Analysis::CutShortcut),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("hsqldb", label),
+            &analysis,
+            |b, analysis| {
+                b.iter(|| {
+                    let out = run_analysis(&program, analysis.clone(), Budget::unlimited());
+                    PrecisionMetrics::compute(&out.result)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §5.1 ablation: the share of CSC's precision improvement over CI that
+//! each pattern (field access / container access / local flow) delivers on
+//! its own, per client — reproducing the paper's per-pattern impact
+//! percentages.
+
+use csc_bench::{budget, run_row};
+use csc_core::{run_analysis, Analysis, CscConfig, PrecisionMetrics};
+
+fn pct(ci: usize, single: usize, full: usize) -> f64 {
+    let full_gain = ci.saturating_sub(full);
+    if full_gain == 0 {
+        return 0.0;
+    }
+    100.0 * ci.saturating_sub(single) as f64 / full_gain as f64
+}
+
+fn main() {
+    println!(
+        "{:<11} {:<10} {:>9} {:>9} {:>9} {:>9}  (share of full CSC improvement)",
+        "Program", "client", "field", "container", "localflow", "all"
+    );
+    println!("{}", "-".repeat(80));
+    for bench in csc_workloads::suite() {
+        let program = bench.compile();
+        let ci = run_row(&program, Analysis::Ci);
+        let Some(ci_m) = ci.metrics else { continue };
+        let configs = [
+            ("field", CscConfig::only_field()),
+            ("container", CscConfig::only_container()),
+            ("localflow", CscConfig::only_local_flow()),
+            ("all", CscConfig::all()),
+        ];
+        let mut metrics = Vec::new();
+        for (_, cfg) in &configs {
+            let out = run_analysis(&program, Analysis::CutShortcutWith(cfg.clone()), budget());
+            metrics.push(PrecisionMetrics::compute(&out.result));
+        }
+        let full = &metrics[3];
+        for (client, get) in [
+            (
+                "#fail-cast",
+                Box::new(|m: &PrecisionMetrics| m.fail_casts) as Box<dyn Fn(&PrecisionMetrics) -> usize>,
+            ),
+            ("#reach-mtd", Box::new(|m: &PrecisionMetrics| m.reach_methods)),
+            ("#poly-call", Box::new(|m: &PrecisionMetrics| m.poly_calls)),
+            ("#call-edge", Box::new(|m: &PrecisionMetrics| m.call_edges)),
+        ] {
+            println!(
+                "{:<11} {:<10} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+                bench.name,
+                client,
+                pct(get(&ci_m), get(&metrics[0]), get(full)),
+                pct(get(&ci_m), get(&metrics[1]), get(full)),
+                pct(get(&ci_m), get(&metrics[2]), get(full)),
+                pct(get(&ci_m), get(full), get(full)),
+            );
+        }
+        println!("{}", "-".repeat(80));
+    }
+}

@@ -1,0 +1,48 @@
+//! Tables 1 & 2: efficiency and the four precision metrics for every
+//! program × {CI, 2obj, 2type, Zipper-e, CSC}. For all numbers, smaller is
+//! better; timed-out analyses print `>Ns` like the paper's `>2h`.
+
+use csc_bench::{analyses, budget_label, fmt_time, run_row};
+
+fn main() {
+    let only: Option<String> = std::env::args().nth(1);
+    println!(
+        "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
+        "Program", "Analysis", "Time", "#fail-cast", "#reach-mtd", "#poly-call", "#call-edge"
+    );
+    println!("{}", "-".repeat(78));
+    for bench in csc_workloads::suite() {
+        if let Some(only) = &only {
+            if only != bench.name {
+                continue;
+            }
+        }
+        let program = bench.compile();
+        for analysis in analyses() {
+            let row = run_row(&program, analysis);
+            match &row.metrics {
+                Some(m) => println!(
+                    "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
+                    bench.name,
+                    row.label,
+                    fmt_time(row.outcome.total_time),
+                    m.fail_casts,
+                    m.reach_methods,
+                    m.poly_calls,
+                    m.call_edges
+                ),
+                None => println!(
+                    "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
+                    bench.name,
+                    row.label,
+                    budget_label(),
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                ),
+            }
+        }
+        println!("{}", "-".repeat(78));
+    }
+}

@@ -1,0 +1,60 @@
+//! Table 3: Zipper-e's selected methods vs the methods involved in
+//! Cut-Shortcut's cut and shortcut edges, with their overlap, plus the
+//! pre-/main-analysis time split of Zipper-e.
+
+use csc_bench::{budget_label, fmt_time, run_row};
+use csc_core::Analysis;
+
+fn main() {
+    println!(
+        "{:<11} {:>10} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>11}",
+        "Program",
+        "Zip total",
+        "Zip pre",
+        "Zip main",
+        "selected",
+        "CSC time",
+        "involved",
+        "overlap"
+    );
+    println!("{}", "-".repeat(88));
+    for bench in csc_workloads::suite() {
+        let program = bench.compile();
+        let zipper = run_row(&program, Analysis::ZipperE);
+        let csc = run_row(&program, Analysis::CutShortcut);
+        let selected = zipper.outcome.selected.clone().unwrap_or_default();
+        let involved = csc
+            .outcome
+            .csc
+            .as_ref()
+            .map(|s| s.involved_methods.clone())
+            .unwrap_or_default();
+        let overlap = involved.intersection(&selected).count();
+        let overlap_pct = if involved.is_empty() {
+            0.0
+        } else {
+            100.0 * overlap as f64 / involved.len() as f64
+        };
+        let (total, pre, main) = if zipper.outcome.completed() {
+            let pre = zipper.outcome.pre_time.unwrap_or_default();
+            (
+                fmt_time(zipper.outcome.total_time),
+                fmt_time(pre),
+                fmt_time(zipper.outcome.total_time.saturating_sub(pre)),
+            )
+        } else {
+            (budget_label(), "-".into(), "-".into())
+        };
+        println!(
+            "{:<11} {:>10} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>10.1}%",
+            bench.name,
+            total,
+            pre,
+            main,
+            selected.len(),
+            fmt_time(csc.outcome.total_time),
+            involved.len(),
+            overlap_pct
+        );
+    }
+}

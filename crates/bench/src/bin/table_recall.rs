@@ -1,0 +1,47 @@
+//! §5.1 recall (soundness) experiment: execute every program, record the
+//! dynamically reachable methods and call edges, and report the recall of
+//! every analysis that completes within the budget. A sound analysis must
+//! show 100% on both columns.
+
+use csc_bench::{analyses, run_row};
+use csc_interp::{check_recall, execute, InterpConfig};
+
+fn main() {
+    println!(
+        "{:<11} {:>8} {:>8}  {}",
+        "Program", "dyn-mtd", "dyn-edge", "recall per analysis (methods% / edges%)"
+    );
+    println!("{}", "-".repeat(100));
+    for bench in csc_workloads::suite() {
+        let program = bench.compile();
+        let trace = match execute(&program, InterpConfig::default()) {
+            Ok(t) => t,
+            Err(e) => e.partial,
+        };
+        print!(
+            "{:<11} {:>8} {:>8}  ",
+            bench.name,
+            trace.reached_methods.len(),
+            trace.call_edges.len()
+        );
+        for analysis in analyses() {
+            let row = run_row(&program, analysis);
+            if !row.outcome.completed() {
+                print!("{}: (budget)  ", row.label);
+                continue;
+            }
+            let report = check_recall(
+                &trace,
+                &row.outcome.result.state.reachable_methods_projected(),
+                &row.outcome.result.state.call_edges_projected(),
+            );
+            print!(
+                "{}: {:.0}%/{:.0}%  ",
+                row.label,
+                report.method_recall_pct(),
+                report.edge_recall_pct()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 12: analysis time (in seconds) of CSC, CI, Zipper-e, 2type, 2obj
+//! per program. One line per program, one column per analysis — the same
+//! series the paper plots.
+
+use csc_bench::{budget_label, fmt_time, run_row};
+use csc_core::Analysis;
+
+fn main() {
+    // Figure 12's legend order.
+    let order = [
+        Analysis::CutShortcut,
+        Analysis::Ci,
+        Analysis::ZipperE,
+        Analysis::KType(2),
+        Analysis::KObj(2),
+    ];
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Program", "CSC", "CI", "Zipper-e", "2type", "2obj"
+    );
+    println!("{}", "-".repeat(62));
+    for bench in csc_workloads::suite() {
+        let program = bench.compile();
+        let mut cells: Vec<String> = Vec::new();
+        for analysis in order.clone() {
+            let row = run_row(&program, analysis);
+            cells.push(if row.outcome.completed() {
+                fmt_time(row.outcome.total_time)
+            } else {
+                budget_label()
+            });
+        }
+        println!(
+            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            bench.name, cells[0], cells[1], cells[2], cells[3], cells[4]
+        );
+    }
+}

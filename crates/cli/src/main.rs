@@ -1,0 +1,258 @@
+//! `csc` — command-line driver for the cut-shortcut pointer analysis.
+//!
+//! ```text
+//! csc analyze <file.mj> [--analysis ci|2obj|2type|2cs|zipper|csc|csc-doop|csc-hybrid]
+//!                       [--budget <secs>] [--pt <Class.method.var>] [--metrics]
+//! csc dump-ir <file.mj>
+//! csc run     <file.mj>            # concrete execution + trace summary
+//! csc bench   <name>               # analyze a built-in suite benchmark
+//! csc suite                        # list built-in benchmarks
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csc_core::{run_analysis, Analysis, Budget, PrecisionMetrics};
+use csc_interp::{execute, InterpConfig};
+use csc_ir::Program;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  csc analyze <file.mj> [--analysis ci|2obj|2type|2cs|zipper|csc|csc-doop|csc-hybrid] \
+         [--budget <secs>] [--pt <Class.method.var>] [--metrics]\n  csc dump-ir <file.mj>\n  \
+         csc run <file.mj>\n  csc bench <name> [--analysis ...]\n  csc suite"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_analysis(s: &str) -> Option<Analysis> {
+    Some(match s {
+        "ci" => Analysis::Ci,
+        "2obj" => Analysis::KObj(2),
+        "2type" => Analysis::KType(2),
+        "2cs" => Analysis::KCallSite(2),
+        "zipper" => Analysis::ZipperE,
+        "csc" => Analysis::CutShortcut,
+        "csc-doop" => Analysis::CutShortcutWith(csc_core::CscConfig::doop()),
+        "csc-hybrid" => Analysis::CscHybrid,
+        _ => return None,
+    })
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    csc_frontend::compile(&src).map_err(|e| format!("{path}:{e}"))
+}
+
+fn analyze(
+    program: &Program,
+    analysis: Analysis,
+    budget: Budget,
+    pt_query: Option<&str>,
+    metrics: bool,
+) {
+    let label = analysis.label().to_owned();
+    let outcome = run_analysis(program, analysis, budget);
+    if !outcome.completed() {
+        println!("{label}: budget exhausted after {:?}", outcome.total_time);
+        return;
+    }
+    println!(
+        "{label}: completed in {:?} ({} reachable methods, {} call edges)",
+        outcome.total_time,
+        outcome.result.state.reachable_methods_projected().len(),
+        outcome.result.state.call_edges_projected().len()
+    );
+    if let Some(stats) = &outcome.csc {
+        println!(
+            "  cut: {} store sites, {} returns; shortcuts: {} ({} store, {} load, {} relay, \
+             {} container, {} local-flow); involved methods: {}",
+            stats.cut_store_sites,
+            stats.cut_return_methods,
+            stats.shortcut_edges(),
+            stats.shortcut_store_edges,
+            stats.shortcut_load_edges,
+            stats.relay_edges,
+            stats.container_edges,
+            stats.local_flow_edges,
+            stats.involved_methods.len()
+        );
+    }
+    if let Some(selected) = &outcome.selected {
+        println!("  Zipper-e selected {} methods", selected.len());
+    }
+    if metrics {
+        let m = PrecisionMetrics::compute(&outcome.result);
+        println!(
+            "  #fail-cast={} #reach-mtd={} #poly-call={} #call-edge={}",
+            m.fail_casts, m.reach_methods, m.poly_calls, m.call_edges
+        );
+    }
+    if let Some(q) = pt_query {
+        let parts: Vec<&str> = q.split('.').collect();
+        let [class, method, var] = parts[..] else {
+            eprintln!("  --pt expects Class.method.var");
+            return;
+        };
+        let Some(m) = program.method_by_qualified_name(&format!("{class}.{method}")) else {
+            eprintln!("  unknown method {class}.{method}");
+            return;
+        };
+        let Some(v) = program
+            .method(m)
+            .vars()
+            .iter()
+            .copied()
+            .find(|&v| program.var(v).name() == var)
+        else {
+            eprintln!("  unknown variable {var} in {class}.{method}");
+            return;
+        };
+        let mut pt: Vec<String> = outcome
+            .result
+            .state
+            .pt_var_projected(v)
+            .into_iter()
+            .map(|o| {
+                format!(
+                    "{} ({})",
+                    program.obj(o).label(),
+                    program.class(program.obj(o).class()).name()
+                )
+            })
+            .collect();
+        pt.sort();
+        println!("  pt({q}) = {pt:#?}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+
+    // Flag parsing shared by `analyze` and `bench`.
+    let mut analysis = Analysis::CutShortcut;
+    let mut budget = Budget::unlimited();
+    let mut pt_query: Option<String> = None;
+    let mut metrics = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--analysis" => {
+                let Some(v) = it.next() else { return usage() };
+                match parse_analysis(v) {
+                    Some(a) => analysis = a,
+                    None => {
+                        eprintln!("unknown analysis `{v}`");
+                        return usage();
+                    }
+                }
+            }
+            "--budget" => {
+                let Some(v) = it.next() else { return usage() };
+                match v.parse::<u64>() {
+                    Ok(secs) => budget = Budget::with_time(Duration::from_secs(secs)),
+                    Err(_) => return usage(),
+                }
+            }
+            "--pt" => {
+                let Some(v) = it.next() else { return usage() };
+                pt_query = Some(v.clone());
+            }
+            "--metrics" => metrics = true,
+            other => positional.push(other.to_owned()),
+        }
+    }
+
+    match cmd.as_str() {
+        "analyze" => {
+            let Some(path) = positional.first() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(program) => {
+                    analyze(&program, analysis, budget, pt_query.as_deref(), metrics);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "dump-ir" => {
+            let Some(path) = positional.first() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(program) => {
+                    print!("{}", program.display_program());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "run" => {
+            let Some(path) = positional.first() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(program) => {
+                    match execute(&program, InterpConfig::default()) {
+                        Ok(t) => println!(
+                            "executed: {} steps, {} allocations, {} reached methods, \
+                             {} call edges, {} failed casts",
+                            t.steps,
+                            t.allocations,
+                            t.reached_methods.len(),
+                            t.call_edges.len(),
+                            t.failed_casts
+                        ),
+                        Err(e) => println!("{e}"),
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "bench" => {
+            let Some(name) = positional.first() else {
+                return usage();
+            };
+            match csc_workloads::by_name(name) {
+                Some(b) => {
+                    let program = b.compile();
+                    analyze(&program, analysis, budget, pt_query.as_deref(), metrics);
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown benchmark `{name}` (try `csc suite`)");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "suite" => {
+            for b in csc_workloads::suite() {
+                let program = b.compile();
+                println!(
+                    "{:<11} {:>5} classes {:>6} methods {:>7} statements",
+                    b.name,
+                    program.classes().len(),
+                    program.methods().len(),
+                    program.stmt_count()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

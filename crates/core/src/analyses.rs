@@ -1,0 +1,315 @@
+//! High-level analysis driver: one entry point for every analysis of the
+//! paper's evaluation matrix.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use csc_ir::{MethodId, Program};
+
+use crate::context::{CallSiteSelector, CiSelector, ObjSelector, SelectiveSelector, TypeSelector};
+use crate::csc::{CscConfig, CscStats, CutShortcut};
+use crate::solver::{Budget, NoPlugin, PtaResult, Solver};
+use crate::zipper::{ZipperE, ZipperOptions};
+
+/// The analyses compared in the paper's evaluation (§5).
+#[derive(Clone, Debug)]
+pub enum Analysis {
+    /// Context insensitivity — the fastest baseline.
+    Ci,
+    /// Conventional `k`-object sensitivity (`KObj(2)` is the paper's 2obj).
+    KObj(usize),
+    /// Conventional `k`-type sensitivity (`KType(2)` is the paper's 2type).
+    KType(usize),
+    /// Conventional `k`-call-site sensitivity.
+    KCallSite(usize),
+    /// Zipper-e selective object sensitivity (pre-analysis + selection +
+    /// selective main analysis).
+    ZipperE,
+    /// Cut-Shortcut with all three patterns (the paper's contribution).
+    CutShortcut,
+    /// Cut-Shortcut with an explicit pattern configuration (ablations,
+    /// Doop mode).
+    CutShortcutWith(CscConfig),
+    /// The §3.4 combination the paper sketches as future work: the
+    /// Cut-Shortcut plugin plus selective object sensitivity applied only
+    /// to precision-critical methods that no pattern covers.
+    CscHybrid,
+}
+
+impl Analysis {
+    /// The short name used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Analysis::Ci => "CI",
+            Analysis::KObj(2) => "2obj",
+            Analysis::KObj(_) => "kobj",
+            Analysis::KType(2) => "2type",
+            Analysis::KType(_) => "ktype",
+            Analysis::KCallSite(_) => "kcs",
+            Analysis::ZipperE => "Zipper-e",
+            Analysis::CutShortcut | Analysis::CutShortcutWith(_) => "CSC",
+            Analysis::CscHybrid => "CSC+sel",
+        }
+    }
+}
+
+/// Everything produced by [`run_analysis`].
+pub struct AnalysisOutcome<'p> {
+    /// The main analysis result.
+    pub result: PtaResult<'p>,
+    /// Total wall-clock time, including Zipper-e's pre-analysis when
+    /// applicable.
+    pub total_time: Duration,
+    /// Pre-analysis time (Zipper-e only).
+    pub pre_time: Option<Duration>,
+    /// Cut-Shortcut statistics (CSC only).
+    pub csc: Option<CscStats>,
+    /// Selected method set (Zipper-e only).
+    pub selected: Option<HashSet<MethodId>>,
+}
+
+impl AnalysisOutcome<'_> {
+    /// Whether the analysis ran to completion within its budget.
+    pub fn completed(&self) -> bool {
+        self.result.status == crate::solver::SolveStatus::Completed
+    }
+}
+
+/// Runs one analysis on a program under a budget (the paper uses 2 hours;
+/// benchmarks here use seconds). For Zipper-e the budget covers pre and main
+/// analysis together, as in the paper.
+pub fn run_analysis<'p>(
+    program: &'p Program,
+    analysis: Analysis,
+    budget: Budget,
+) -> AnalysisOutcome<'p> {
+    match analysis {
+        Analysis::Ci => {
+            let (result, _) = Solver::new(program, CiSelector, NoPlugin, budget).solve();
+            let total_time = result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: None,
+                csc: None,
+                selected: None,
+            }
+        }
+        Analysis::KObj(k) => {
+            let (result, _) = Solver::new(program, ObjSelector::new(k), NoPlugin, budget).solve();
+            let total_time = result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: None,
+                csc: None,
+                selected: None,
+            }
+        }
+        Analysis::KType(k) => {
+            let (result, _) = Solver::new(program, TypeSelector::new(k), NoPlugin, budget).solve();
+            let total_time = result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: None,
+                csc: None,
+                selected: None,
+            }
+        }
+        Analysis::KCallSite(k) => {
+            let (result, _) =
+                Solver::new(program, CallSiteSelector::new(k), NoPlugin, budget).solve();
+            let total_time = result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: None,
+                csc: None,
+                selected: None,
+            }
+        }
+        Analysis::ZipperE => {
+            let opts = ZipperOptions::default();
+            let (pre, _) = Solver::new(program, CiSelector, NoPlugin, budget).solve();
+            let pre_time = pre.elapsed;
+            let zipper = ZipperE::select(program, &pre, opts);
+            let selected = zipper.selected.clone();
+            let main_budget = Budget {
+                time: budget.time.map(|t| t.saturating_sub(pre_time)),
+                max_propagations: budget.max_propagations,
+            };
+            let selector =
+                SelectiveSelector::new(ObjSelector::new(opts.k), zipper.selected, "Zipper-e");
+            let (result, _) = Solver::new(program, selector, NoPlugin, main_budget).solve();
+            let total_time = pre_time + result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: Some(pre_time),
+                csc: None,
+                selected: Some(selected),
+            }
+        }
+        Analysis::CutShortcut => {
+            run_analysis(program, Analysis::CutShortcutWith(CscConfig::all()), budget)
+        }
+        Analysis::CutShortcutWith(cfg) => {
+            let plugin = CutShortcut::new(program, cfg);
+            let (mut result, plugin) = Solver::new(program, CiSelector, plugin, budget).solve();
+            result.analysis = "csc".to_owned();
+            let total_time = result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: None,
+                csc: Some(plugin.stats().clone()),
+                selected: None,
+            }
+        }
+        Analysis::CscHybrid => {
+            // Phase 1: CI pre-analysis + Zipper-e selection, as usual.
+            let opts = ZipperOptions::default();
+            let (pre, _) = Solver::new(program, CiSelector, NoPlugin, budget).solve();
+            let pre_time = pre.elapsed;
+            let zipper = ZipperE::select(program, &pre, opts);
+            // Phase 2: subtract the methods Cut-Shortcut already handles
+            // (the paper's §3.4 suggestion) and run the plugin together
+            // with the restricted selective selector.
+            let cfg = CscConfig::all();
+            let covered = crate::csc::pattern_methods(program, &cfg);
+            let selected: HashSet<MethodId> = zipper
+                .selected
+                .difference(&covered)
+                .copied()
+                .collect();
+            let main_budget = Budget {
+                time: budget.time.map(|t| t.saturating_sub(pre_time)),
+                max_propagations: budget.max_propagations,
+            };
+            let selector = SelectiveSelector::new(
+                ObjSelector::new(opts.k),
+                selected.clone(),
+                "CSC+sel",
+            );
+            let plugin = CutShortcut::new(program, cfg);
+            let (mut result, plugin) =
+                Solver::new(program, selector, plugin, main_budget).solve();
+            result.analysis = "csc-hybrid".to_owned();
+            let total_time = pre_time + result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: Some(pre_time),
+                csc: Some(plugin.stats().clone()),
+                selected: Some(selected),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::PrecisionMetrics;
+
+    /// The paper's Figure 1 motivating example: CSC must be exactly as
+    /// precise as context sensitivity here, while CI merges the two items.
+    const MOTIVATING: &str = r#"
+        class Carton {
+            Item item;
+            void setItem(Item item) { this.item = item; }
+            Item getItem() { Item r; r = this.item; return r; }
+        }
+        class Item { }
+        class Main {
+            static void main() {
+                Carton c1 = new Carton();
+                Item item1 = new Item();
+                c1.setItem(item1);
+                Item result1 = c1.getItem();
+                Carton c2 = new Carton();
+                Item item2 = new Item();
+                c2.setItem(item2);
+                Item result2 = c2.getItem();
+            }
+        }
+    "#;
+
+    fn pt_of(outcome: &AnalysisOutcome<'_>, program: &Program, var_name: &str) -> Vec<String> {
+        let main = program.entry();
+        let v = program
+            .method(main)
+            .vars()
+            .iter()
+            .copied()
+            .find(|&v| program.var(v).name() == var_name)
+            .expect("variable exists");
+        let mut objs: Vec<String> = outcome
+            .result
+            .state
+            .pt_var_projected(v)
+            .into_iter()
+            .map(|o| program.obj(o).label().to_owned())
+            .collect();
+        objs.sort();
+        objs
+    }
+
+    #[test]
+    fn figure1_ci_merges_items() {
+        let program = csc_frontend::compile(MOTIVATING).unwrap();
+        let out = run_analysis(&program, Analysis::Ci, Budget::unlimited());
+        assert_eq!(pt_of(&out, &program, "result1").len(), 2, "CI is imprecise");
+        assert_eq!(pt_of(&out, &program, "result2").len(), 2);
+    }
+
+    #[test]
+    fn figure1_csc_is_precise() {
+        let program = csc_frontend::compile(MOTIVATING).unwrap();
+        let out = run_analysis(&program, Analysis::CutShortcut, Budget::unlimited());
+        assert_eq!(
+            pt_of(&out, &program, "result1"),
+            pt_of(&out, &program, "item1"),
+            "CSC must recover the context-sensitive result"
+        );
+        assert_eq!(
+            pt_of(&out, &program, "result2"),
+            pt_of(&out, &program, "item2")
+        );
+        assert_eq!(pt_of(&out, &program, "result1").len(), 1);
+        assert_eq!(pt_of(&out, &program, "result2").len(), 1);
+        let stats = out.csc.as_ref().unwrap();
+        assert_eq!(stats.cut_store_sites, 1);
+        assert_eq!(stats.cut_return_methods, 1);
+        assert_eq!(stats.shortcut_store_edges, 2);
+        assert_eq!(stats.shortcut_load_edges, 2);
+    }
+
+    #[test]
+    fn figure1_2obj_is_precise() {
+        let program = csc_frontend::compile(MOTIVATING).unwrap();
+        let out = run_analysis(&program, Analysis::KObj(2), Budget::unlimited());
+        assert_eq!(pt_of(&out, &program, "result1").len(), 1);
+        assert_eq!(pt_of(&out, &program, "result2").len(), 1);
+    }
+
+    #[test]
+    fn csc_soundness_on_motivating_example() {
+        let program = csc_frontend::compile(MOTIVATING).unwrap();
+        let ci = run_analysis(&program, Analysis::Ci, Budget::unlimited());
+        let csc = run_analysis(&program, Analysis::CutShortcut, Budget::unlimited());
+        // CSC finds the same reachable methods and call edges as CI here.
+        assert_eq!(
+            ci.result.state.reachable_methods_projected(),
+            csc.result.state.reachable_methods_projected()
+        );
+        assert_eq!(
+            ci.result.state.call_edges_projected(),
+            csc.result.state.call_edges_projected()
+        );
+        let m_ci = PrecisionMetrics::compute(&ci.result);
+        let m_csc = PrecisionMetrics::compute(&csc.result);
+        assert!(m_csc.fail_casts <= m_ci.fail_casts);
+    }
+}

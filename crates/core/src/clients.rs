@@ -1,0 +1,166 @@
+//! The four precision clients used as metrics throughout the paper's
+//! evaluation (§5): cast resolution (#fail-cast), method reachability
+//! (#reach-mtd), devirtualization (#poly-call), and call-graph construction
+//! (#call-edge). For every metric, smaller is better.
+
+use std::collections::HashSet;
+
+use csc_ir::{CallKind, CastId, CallSiteId, Program, Type};
+
+use crate::solver::PtaResult;
+
+/// The four precision metrics of the paper.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PrecisionMetrics {
+    /// Casts that may fail (an object in the source's points-to set is not a
+    /// subtype of the cast target).
+    pub fail_casts: usize,
+    /// Reachable methods.
+    pub reach_methods: usize,
+    /// Virtual call sites resolved to more than one target.
+    pub poly_calls: usize,
+    /// Call-graph edges (context-insensitively projected).
+    pub call_edges: usize,
+}
+
+impl PrecisionMetrics {
+    /// Computes all four metrics from an analysis result.
+    pub fn compute(result: &PtaResult<'_>) -> Self {
+        let program = result.state.program;
+        PrecisionMetrics {
+            fail_casts: fail_casts(result).len(),
+            reach_methods: result.state.reachable_methods_projected().len(),
+            poly_calls: poly_calls(result).len(),
+            call_edges: result.state.call_edges_projected().len(),
+        }
+        .validate(program)
+    }
+
+    fn validate(self, _program: &Program) -> Self {
+        self
+    }
+}
+
+/// The cast sites that may fail under the given result.
+///
+/// A cast `x = (T) y` may fail iff some object in `pt(y)` (restricted to
+/// casts in reachable methods) is not a subtype of `T`.
+pub fn fail_casts(result: &PtaResult<'_>) -> HashSet<CastId> {
+    let program = result.state.program;
+    let reachable = result.state.reachable_methods_projected();
+    let mut out = HashSet::new();
+    for (i, cast) in program.casts().iter().enumerate() {
+        if !reachable.contains(&cast.method()) {
+            continue;
+        }
+        let pt = result.state.pt_var_projected(cast.rhs());
+        let may_fail = pt.iter().any(|&o| {
+            let ty = Type::Class(program.obj(o).class());
+            !program.is_subtype(ty, cast.ty())
+        });
+        if may_fail {
+            out.insert(CastId::from_usize(i));
+        }
+    }
+    out
+}
+
+/// The virtual call sites that resolve to more than one callee.
+pub fn poly_calls(result: &PtaResult<'_>) -> HashSet<CallSiteId> {
+    let program = result.state.program;
+    let mut targets: Vec<HashSet<csc_ir::MethodId>> =
+        vec![HashSet::new(); program.call_sites().len()];
+    for &(_, site, _, callee) in result.state.call_edges() {
+        targets[site.index()].insert(callee);
+    }
+    let mut out = HashSet::new();
+    for (i, cs) in program.call_sites().iter().enumerate() {
+        if cs.kind() == CallKind::Virtual && targets[i].len() > 1 {
+            out.insert(CallSiteId::from_usize(i));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CiSelector;
+    use crate::solver::{Budget, NoPlugin, Solver};
+
+    fn analyze(src: &str) -> PrecisionMetrics {
+        let program = csc_frontend::compile(src).expect("compiles");
+        let program = Box::leak(Box::new(program));
+        let (result, _) = Solver::new(program, CiSelector, NoPlugin, Budget::unlimited()).solve();
+        PrecisionMetrics::compute(&result)
+    }
+
+    #[test]
+    fn monomorphic_call_is_not_poly() {
+        let m = analyze(
+            r#"
+            class A { void m() { } }
+            class Main { static void main() { A a = new A(); a.m(); } }
+            "#,
+        );
+        assert_eq!(m.poly_calls, 0);
+        assert_eq!(m.call_edges, 1);
+        assert_eq!(m.reach_methods, 2); // main + A.m
+    }
+
+    #[test]
+    fn merged_receivers_make_poly_call() {
+        let m = analyze(
+            r#"
+            abstract class A { abstract void m(); }
+            class B extends A { void m() { } }
+            class C extends A { void m() { } }
+            class Main {
+                static void main() {
+                    A a = pick(new B(), new C());
+                    a.m();
+                }
+                static A pick(A x, A y) { A r; if (true) { r = x; } else { r = y; } return r; }
+            }
+            "#,
+        );
+        // CI merges both receivers at the call site.
+        assert_eq!(m.poly_calls, 1);
+    }
+
+    #[test]
+    fn fail_cast_detected_under_ci_merging() {
+        let m = analyze(
+            r#"
+            class A { }
+            class B { }
+            class Main {
+                static Object id(Object o) { return o; }
+                static void main() {
+                    Object a = id(new A());
+                    Object b = id(new B());
+                    A onlyA = (A) a;
+                }
+            }
+            "#,
+        );
+        // CI merges A and B objects in id(); the cast sees a B, may fail.
+        assert_eq!(m.fail_casts, 1);
+    }
+
+    #[test]
+    fn safe_cast_not_counted() {
+        let m = analyze(
+            r#"
+            class A { }
+            class Main {
+                static void main() {
+                    Object a = new A();
+                    A x = (A) a;
+                }
+            }
+            "#,
+        );
+        assert_eq!(m.fail_casts, 0);
+    }
+}

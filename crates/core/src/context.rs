@@ -1,0 +1,375 @@
+//! Calling contexts and context selectors.
+//!
+//! Contexts are hash-consed sequences of [`CtxElem`]s (allocation sites for
+//! object sensitivity, classes for type sensitivity, call sites for call-site
+//! sensitivity). The [`ContextSelector`] trait abstracts the policy: the
+//! solver is generic over it, so context insensitivity (used by
+//! Cut-Shortcut), `k`-object-, `k`-type-, `k`-call-site-sensitivity, and the
+//! Zipper-e selective variant all share one engine.
+
+use std::collections::{HashMap, HashSet};
+
+use csc_ir::{CallSiteId, ClassId, MethodId, ObjId, Program};
+
+/// One element of a calling context.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CtxElem {
+    /// An allocation site (object sensitivity).
+    Obj(ObjId),
+    /// A class (type sensitivity): the class containing the receiver
+    /// object's allocation site.
+    Type(ClassId),
+    /// A call site (call-site sensitivity).
+    CallSite(CallSiteId),
+}
+
+/// A hash-consed context id. `CtxId::EMPTY` is the empty context.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtxId(pub u32);
+
+impl CtxId {
+    /// The empty (context-insensitive) context.
+    pub const EMPTY: CtxId = CtxId(0);
+}
+
+/// Hash-consing table for contexts.
+#[derive(Debug)]
+pub struct CtxInterner {
+    table: HashMap<Vec<CtxElem>, CtxId>,
+    ctxs: Vec<Vec<CtxElem>>,
+}
+
+impl Default for CtxInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CtxInterner {
+    /// Creates an interner holding only the empty context.
+    pub fn new() -> Self {
+        CtxInterner {
+            table: HashMap::from([(Vec::new(), CtxId::EMPTY)]),
+            ctxs: vec![Vec::new()],
+        }
+    }
+
+    /// Interns a context string.
+    pub fn intern(&mut self, elems: Vec<CtxElem>) -> CtxId {
+        if let Some(&id) = self.table.get(&elems) {
+            return id;
+        }
+        let id = CtxId(u32::try_from(self.ctxs.len()).expect("too many contexts"));
+        self.ctxs.push(elems.clone());
+        self.table.insert(elems, id);
+        id
+    }
+
+    /// The elements of a context.
+    pub fn elems(&self, id: CtxId) -> &[CtxElem] {
+        &self.ctxs[id.0 as usize]
+    }
+
+    /// Number of distinct contexts created so far.
+    pub fn len(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Whether only the empty context exists.
+    pub fn is_empty(&self) -> bool {
+        self.ctxs.len() == 1
+    }
+
+    /// Appends `elem` to `base`, keeping only the last `k` elements.
+    pub fn append_k(&mut self, base: CtxId, elem: CtxElem, k: usize) -> CtxId {
+        if k == 0 {
+            return CtxId::EMPTY;
+        }
+        let mut elems = self.ctxs[base.0 as usize].clone();
+        elems.push(elem);
+        if elems.len() > k {
+            let cut = elems.len() - k;
+            elems.drain(..cut);
+        }
+        self.intern(elems)
+    }
+
+    /// Truncates `base` to its last `k` elements.
+    pub fn truncate_k(&mut self, base: CtxId, k: usize) -> CtxId {
+        let elems = &self.ctxs[base.0 as usize];
+        if elems.len() <= k {
+            return base;
+        }
+        let cut = elems.len() - k;
+        let kept = elems[cut..].to_vec();
+        self.intern(kept)
+    }
+}
+
+/// Everything a selector may look at when choosing the callee context.
+#[derive(Copy, Clone, Debug)]
+pub struct CallInfo {
+    /// The caller method's context.
+    pub caller_ctx: CtxId,
+    /// The call site.
+    pub site: CallSiteId,
+    /// The resolved callee.
+    pub callee: MethodId,
+    /// For instance calls: the receiver object (its heap context and
+    /// allocation site). `None` for static calls.
+    pub recv: Option<(CtxId, ObjId)>,
+}
+
+/// A context-sensitivity policy.
+///
+/// Implementations must be deterministic: the solver may re-query.
+pub trait ContextSelector {
+    /// Human-readable name used in reports (e.g. `"2obj"`).
+    fn name(&self) -> &str;
+
+    /// The context under which `callee` is analyzed for this call.
+    fn select_call(&self, program: &Program, interner: &mut CtxInterner, call: CallInfo) -> CtxId;
+
+    /// The heap context attached to objects allocated while analyzing a
+    /// method under `method_ctx`.
+    fn select_heap(
+        &self,
+        program: &Program,
+        interner: &mut CtxInterner,
+        method_ctx: CtxId,
+        obj: ObjId,
+    ) -> CtxId;
+}
+
+/// Context insensitivity: every method and object lives in the empty
+/// context. This is the configuration Cut-Shortcut runs under.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CiSelector;
+
+impl ContextSelector for CiSelector {
+    fn name(&self) -> &str {
+        "ci"
+    }
+
+    fn select_call(&self, _: &Program, _: &mut CtxInterner, _: CallInfo) -> CtxId {
+        CtxId::EMPTY
+    }
+
+    fn select_heap(&self, _: &Program, _: &mut CtxInterner, _: CtxId, _: ObjId) -> CtxId {
+        CtxId::EMPTY
+    }
+}
+
+/// `k`-object sensitivity with `k-1` heap context (the classic `2obj`
+/// configuration is `ObjSelector::new(2)`).
+#[derive(Copy, Clone, Debug)]
+pub struct ObjSelector {
+    k: usize,
+}
+
+impl ObjSelector {
+    /// Creates a `k`-object-sensitive selector.
+    pub fn new(k: usize) -> Self {
+        ObjSelector { k }
+    }
+}
+
+impl ContextSelector for ObjSelector {
+    fn name(&self) -> &str {
+        match self.k {
+            1 => "1obj",
+            2 => "2obj",
+            3 => "3obj",
+            _ => "kobj",
+        }
+    }
+
+    fn select_call(&self, _: &Program, interner: &mut CtxInterner, call: CallInfo) -> CtxId {
+        match call.recv {
+            Some((heap_ctx, obj)) => interner.append_k(heap_ctx, CtxElem::Obj(obj), self.k),
+            // Static calls inherit the caller's context (Doop convention).
+            None => call.caller_ctx,
+        }
+    }
+
+    fn select_heap(
+        &self,
+        _: &Program,
+        interner: &mut CtxInterner,
+        method_ctx: CtxId,
+        _: ObjId,
+    ) -> CtxId {
+        interner.truncate_k(method_ctx, self.k.saturating_sub(1))
+    }
+}
+
+/// `k`-type sensitivity: like object sensitivity but context elements are
+/// the classes *containing* the receiver objects' allocation sites
+/// (Smaragdakis et al., POPL 2011).
+#[derive(Copy, Clone, Debug)]
+pub struct TypeSelector {
+    k: usize,
+}
+
+impl TypeSelector {
+    /// Creates a `k`-type-sensitive selector.
+    pub fn new(k: usize) -> Self {
+        TypeSelector { k }
+    }
+}
+
+impl ContextSelector for TypeSelector {
+    fn name(&self) -> &str {
+        match self.k {
+            1 => "1type",
+            2 => "2type",
+            _ => "ktype",
+        }
+    }
+
+    fn select_call(&self, program: &Program, interner: &mut CtxInterner, call: CallInfo) -> CtxId {
+        match call.recv {
+            Some((heap_ctx, obj)) => {
+                let alloc_class = program.method(program.obj(obj).method()).class();
+                interner.append_k(heap_ctx, CtxElem::Type(alloc_class), self.k)
+            }
+            None => call.caller_ctx,
+        }
+    }
+
+    fn select_heap(
+        &self,
+        _: &Program,
+        interner: &mut CtxInterner,
+        method_ctx: CtxId,
+        _: ObjId,
+    ) -> CtxId {
+        interner.truncate_k(method_ctx, self.k.saturating_sub(1))
+    }
+}
+
+/// `k`-call-site sensitivity (`k`-CFA).
+#[derive(Copy, Clone, Debug)]
+pub struct CallSiteSelector {
+    k: usize,
+}
+
+impl CallSiteSelector {
+    /// Creates a `k`-call-site-sensitive selector.
+    pub fn new(k: usize) -> Self {
+        CallSiteSelector { k }
+    }
+}
+
+impl ContextSelector for CallSiteSelector {
+    fn name(&self) -> &str {
+        match self.k {
+            1 => "1cs",
+            2 => "2cs",
+            _ => "kcs",
+        }
+    }
+
+    fn select_call(&self, _: &Program, interner: &mut CtxInterner, call: CallInfo) -> CtxId {
+        interner.append_k(call.caller_ctx, CtxElem::CallSite(call.site), self.k)
+    }
+
+    fn select_heap(
+        &self,
+        _: &Program,
+        interner: &mut CtxInterner,
+        method_ctx: CtxId,
+        _: ObjId,
+    ) -> CtxId {
+        interner.truncate_k(method_ctx, self.k.saturating_sub(1))
+    }
+}
+
+/// Selective context sensitivity: applies `inner`'s policy only to the
+/// selected methods and analyzes everything else context-insensitively.
+/// Used as the main analysis of Zipper-e.
+#[derive(Clone, Debug)]
+pub struct SelectiveSelector<S> {
+    inner: S,
+    selected: HashSet<MethodId>,
+    name: String,
+}
+
+impl<S: ContextSelector> SelectiveSelector<S> {
+    /// Wraps `inner`, restricting contexts to `selected` methods.
+    pub fn new(inner: S, selected: HashSet<MethodId>, name: impl Into<String>) -> Self {
+        SelectiveSelector {
+            inner,
+            selected,
+            name: name.into(),
+        }
+    }
+
+    /// The selected method set.
+    pub fn selected(&self) -> &HashSet<MethodId> {
+        &self.selected
+    }
+}
+
+impl<S: ContextSelector> ContextSelector for SelectiveSelector<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select_call(&self, program: &Program, interner: &mut CtxInterner, call: CallInfo) -> CtxId {
+        if self.selected.contains(&call.callee) {
+            self.inner.select_call(program, interner, call)
+        } else {
+            CtxId::EMPTY
+        }
+    }
+
+    fn select_heap(
+        &self,
+        program: &Program,
+        interner: &mut CtxInterner,
+        method_ctx: CtxId,
+        obj: ObjId,
+    ) -> CtxId {
+        self.inner.select_heap(program, interner, method_ctx, obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_dedups() {
+        let mut i = CtxInterner::new();
+        let a = i.intern(vec![CtxElem::Obj(ObjId::new(1))]);
+        let b = i.intern(vec![CtxElem::Obj(ObjId::new(1))]);
+        let c = i.intern(vec![CtxElem::Obj(ObjId::new(2))]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 3); // empty + two
+    }
+
+    #[test]
+    fn append_k_truncates_oldest() {
+        let mut i = CtxInterner::new();
+        let o = |n| CtxElem::Obj(ObjId::new(n));
+        let c1 = i.append_k(CtxId::EMPTY, o(1), 2);
+        let c12 = i.append_k(c1, o(2), 2);
+        let c23 = i.append_k(c12, o(3), 2);
+        assert_eq!(i.elems(c12), &[o(1), o(2)]);
+        assert_eq!(i.elems(c23), &[o(2), o(3)]);
+        assert_eq!(i.append_k(c12, o(3), 0), CtxId::EMPTY);
+    }
+
+    #[test]
+    fn truncate_k_keeps_most_recent() {
+        let mut i = CtxInterner::new();
+        let o = |n| CtxElem::Obj(ObjId::new(n));
+        let c12 = i.intern(vec![o(1), o(2)]);
+        let t = i.truncate_k(c12, 1);
+        assert_eq!(i.elems(t), &[o(2)]);
+        assert_eq!(i.truncate_k(c12, 5), c12);
+        assert_eq!(i.truncate_k(c12, 0), CtxId::EMPTY);
+    }
+}

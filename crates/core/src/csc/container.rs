@@ -1,0 +1,221 @@
+//! Container API specification for the container access pattern (§3.3, §4.3).
+//!
+//! The paper annotates JDK container APIs with three roles — `Entrances`
+//! (methods that add elements), `Exits` (methods that return elements), and
+//! `Transfers` (methods that return host-dependent objects such as iterators
+//! and map views). The spec is given by class/method *names* and resolved
+//! against a concrete program; resolution expands each entry over the class
+//! hierarchy so that subclasses inheriting or overriding a container method
+//! are covered.
+
+use std::collections::{HashMap, HashSet};
+
+use csc_ir::{ClassId, MethodId, Program};
+
+/// Which kind of container element a role manipulates. Distinguishing map
+/// keys from map values lets `keySet()` iterators match `put`'s key argument
+/// rather than its value argument.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Values of a collection.
+    Col,
+    /// Keys of a map.
+    MapKey,
+    /// Values of a map.
+    MapVal,
+}
+
+/// A name-based container API specification.
+#[derive(Clone, Debug, Default)]
+pub struct ContainerSpec {
+    /// Root classes whose instances are host (container) objects, with the
+    /// category family they belong to (`true` = map).
+    pub host_roots: Vec<(String, bool)>,
+    /// `(class, method, k, category)`: the `k`-th argument (paper numbering,
+    /// 0 = receiver) of calls to `class.method` flows into the container.
+    pub entrances: Vec<(String, String, usize, Category)>,
+    /// `(class, method, category)`: calls to `class.method` return container
+    /// elements.
+    pub exits: Vec<(String, String, Category)>,
+    /// `(class, method)`: calls transfer the host from the receiver to the
+    /// result (iterators, map views).
+    pub transfers: Vec<(String, String)>,
+}
+
+impl ContainerSpec {
+    /// The specification matching the `csc-workloads` mini-JDK. Mirrors the
+    /// paper's five-hour JDK annotation effort at mini scale.
+    pub fn mini_jdk() -> Self {
+        let e = |c: &str, m: &str, k: usize, cat| (c.to_owned(), m.to_owned(), k, cat);
+        let x = |c: &str, m: &str, cat| (c.to_owned(), m.to_owned(), cat);
+        let t = |c: &str, m: &str| (c.to_owned(), m.to_owned());
+        ContainerSpec {
+            host_roots: vec![("Collection".to_owned(), false), ("Map".to_owned(), true)],
+            entrances: vec![
+                e("Collection", "add", 1, Category::Col),
+                e("Collection", "addFirst", 1, Category::Col),
+                e("List", "set", 2, Category::Col),
+                e("Map", "put", 1, Category::MapKey),
+                e("Map", "put", 2, Category::MapVal),
+            ],
+            exits: vec![
+                x("List", "get", Category::Col),
+                x("List", "removeFirst", Category::Col),
+                x("Iterator", "next", Category::Col),
+                x("KeyIterator", "next", Category::MapKey),
+                x("ValueIterator", "next", Category::MapVal),
+                x("Map", "get", Category::MapVal),
+                x("Map", "remove", Category::MapVal),
+            ],
+            transfers: vec![
+                t("Collection", "iterator"),
+                t("Map", "keySet"),
+                t("Map", "values"),
+                t("KeySetView", "iterator"),
+                t("ValuesView", "iterator"),
+            ],
+        }
+    }
+
+    /// Resolves names against a program, expanding entries over the class
+    /// hierarchy. Entries whose classes or methods are absent from the
+    /// program are silently skipped (programs need not link the whole
+    /// mini-JDK).
+    pub fn resolve(&self, program: &Program) -> ResolvedContainerSpec {
+        let mut resolved = ResolvedContainerSpec::default();
+        for (name, is_map) in &self.host_roots {
+            if let Some(c) = program.class_by_name(name) {
+                if *is_map {
+                    resolved.map_roots.push(c);
+                } else {
+                    resolved.collection_roots.push(c);
+                }
+            }
+        }
+        // For entry (C, m): every concrete method that a call on any
+        // subclass of C may dispatch to.
+        let concrete_impls = |class_name: &str, method_name: &str| -> Vec<MethodId> {
+            let Some(base) = program.class_by_name(class_name) else {
+                return Vec::new();
+            };
+            let Some(decl) = program.resolve_method(base, method_name) else {
+                return Vec::new();
+            };
+            let mut out = HashSet::new();
+            for c in 0..program.classes().len() {
+                let c = ClassId::from_usize(c);
+                if program.is_subclass(c, base) {
+                    if let Some(m) = program.dispatch(c, decl) {
+                        out.insert(m);
+                    }
+                }
+            }
+            let mut v: Vec<MethodId> = out.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        for (c, m, k, cat) in &self.entrances {
+            for id in concrete_impls(c, m) {
+                resolved.entrances.entry(id).or_default().push((*k, *cat));
+            }
+        }
+        for (c, m, cat) in &self.exits {
+            for id in concrete_impls(c, m) {
+                resolved.exits.entry(id).or_insert(*cat);
+            }
+        }
+        for (c, m) in &self.transfers {
+            for id in concrete_impls(c, m) {
+                resolved.transfers.insert(id);
+            }
+        }
+        resolved
+    }
+}
+
+/// A [`ContainerSpec`] resolved against a concrete program.
+#[derive(Clone, Debug, Default)]
+pub struct ResolvedContainerSpec {
+    /// Classes whose instances are collection hosts (`[ColHost]`).
+    pub collection_roots: Vec<ClassId>,
+    /// Classes whose instances are map hosts (`[MapHost]`).
+    pub map_roots: Vec<ClassId>,
+    /// Entrance methods with their `(arg index, category)` annotations.
+    pub entrances: HashMap<MethodId, Vec<(usize, Category)>>,
+    /// Exit methods with the category they return.
+    pub exits: HashMap<MethodId, Category>,
+    /// Transfer methods.
+    pub transfers: HashSet<MethodId>,
+}
+
+impl ResolvedContainerSpec {
+    /// Whether objects of `class` are hosts ([ColHost]/[MapHost] premise).
+    pub fn is_host_class(&self, program: &Program, class: ClassId) -> bool {
+        self.collection_roots
+            .iter()
+            .chain(self.map_roots.iter())
+            .any(|&root| program.is_subclass(class, root))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_skips_missing_classes() {
+        let program = csc_frontend::compile(
+            "class Main { static void main() { Object o = new Object(); } }",
+        )
+        .unwrap();
+        let spec = ContainerSpec::mini_jdk().resolve(&program);
+        assert!(spec.entrances.is_empty());
+        assert!(spec.exits.is_empty());
+        assert!(spec.transfers.is_empty());
+        assert!(spec.collection_roots.is_empty());
+    }
+
+    #[test]
+    fn resolve_expands_over_hierarchy() {
+        let program = csc_frontend::compile(
+            r#"
+            abstract class Collection {
+                abstract void add(Object e);
+                abstract Iterator iterator();
+            }
+            class Node { Object item; Node next; }
+            class Iterator {
+                Node cur;
+                Object next() { Node n; n = this.cur; this.cur = n.next; return n.item; }
+                boolean hasNext() { return true; }
+            }
+            class ArrayList extends Collection {
+                Node head;
+                void add(Object e) { Node n = new Node(); n.item = e; n.next = this.head; this.head = n; }
+                Iterator iterator() { Iterator it = new Iterator(); it.cur = this.head; return it; }
+            }
+            class SubList extends ArrayList { }
+            class Main {
+                static void main() {
+                    ArrayList l = new ArrayList();
+                    l.add(new Object());
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let spec = ContainerSpec::mini_jdk().resolve(&program);
+        let add = program.method_by_qualified_name("ArrayList.add").unwrap();
+        let iter = program.method_by_qualified_name("ArrayList.iterator").unwrap();
+        let next = program.method_by_qualified_name("Iterator.next").unwrap();
+        assert_eq!(spec.entrances[&add], vec![(1, Category::Col)]);
+        assert!(spec.transfers.contains(&iter));
+        assert_eq!(spec.exits[&next], Category::Col);
+        let al = program.class_by_name("ArrayList").unwrap();
+        let sub = program.class_by_name("SubList").unwrap();
+        assert!(spec.is_host_class(&program, al));
+        assert!(spec.is_host_class(&program, sub));
+        let node = program.class_by_name("Node").unwrap();
+        assert!(!spec.is_host_class(&program, node));
+    }
+}

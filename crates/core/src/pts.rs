@@ -1,0 +1,188 @@
+//! Points-to sets.
+//!
+//! A [`PointsToSet`] is a sorted, deduplicated vector of dense u32 ids
+//! (context-sensitive abstract objects, [`crate::solver::CsObjId`]).
+//! The solver propagates *deltas*: [`PointsToSet::union_delta`] merges a set
+//! in and returns exactly the elements that were new, which is what gets
+//! pushed further along pointer-flow-graph edges.
+
+use std::fmt;
+
+/// A sorted set of dense u32 ids with delta-union support.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct PointsToSet {
+    elems: Vec<u32>,
+}
+
+impl PointsToSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set holding a single element.
+    pub fn singleton(e: u32) -> Self {
+        PointsToSet { elems: vec![e] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: u32) -> bool {
+        self.elems.binary_search(&e).is_ok()
+    }
+
+    /// Inserts one element; returns whether it was new.
+    pub fn insert(&mut self, e: u32) -> bool {
+        match self.elems.binary_search(&e) {
+            Ok(_) => false,
+            Err(i) => {
+                self.elems.insert(i, e);
+                true
+            }
+        }
+    }
+
+    /// Merges `other` in and returns the elements that were not yet present
+    /// (`None` when nothing changed — the common case, kept allocation-free).
+    pub fn union_delta(&mut self, other: &PointsToSet) -> Option<PointsToSet> {
+        // Fast path: all of `other` already present.
+        if other
+            .elems
+            .iter()
+            .all(|&e| self.elems.binary_search(&e).is_ok())
+        {
+            return None;
+        }
+        let mut delta = Vec::new();
+        let mut merged = Vec::with_capacity(self.elems.len() + other.elems.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.elems[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.elems[j]);
+                    delta.push(other.elems[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.elems[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.elems[i..]);
+        for &e in &other.elems[j..] {
+            merged.push(e);
+            delta.push(e);
+        }
+        self.elems = merged;
+        if delta.is_empty() {
+            None
+        } else {
+            Some(PointsToSet { elems: delta })
+        }
+    }
+
+    /// Iterates the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.elems.iter().copied()
+    }
+
+    /// Whether the two sets share at least one element.
+    pub fn intersects(&self, other: &PointsToSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for PointsToSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.elems.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for PointsToSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut elems: Vec<u32> = iter.into_iter().collect();
+        elems.sort_unstable();
+        elems.dedup();
+        PointsToSet { elems }
+    }
+}
+
+impl Extend<u32> for PointsToSet {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = PointsToSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(!s.insert(5));
+        assert!(s.contains(1));
+        assert!(s.contains(5));
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_delta_reports_exactly_new_elements() {
+        let mut a: PointsToSet = [1, 3, 5].into_iter().collect();
+        let b: PointsToSet = [2, 3, 6].into_iter().collect();
+        let delta = a.union_delta(&b).unwrap();
+        assert_eq!(delta.iter().collect::<Vec<_>>(), vec![2, 6]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 5, 6]);
+        assert!(a.union_delta(&b).is_none(), "second union is a no-op");
+    }
+
+    #[test]
+    fn union_delta_empty_other() {
+        let mut a: PointsToSet = [1].into_iter().collect();
+        assert!(a.union_delta(&PointsToSet::new()).is_none());
+    }
+
+    #[test]
+    fn intersects() {
+        let a: PointsToSet = [1, 4, 9].into_iter().collect();
+        let b: PointsToSet = [2, 4].into_iter().collect();
+        let c: PointsToSet = [3, 5].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&PointsToSet::new()));
+    }
+
+    #[test]
+    fn from_iterator_sorts_and_dedups() {
+        let s: PointsToSet = [5, 1, 5, 3].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+}

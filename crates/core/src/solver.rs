@@ -1,0 +1,776 @@
+//! The pointer-analysis engine: a delta-propagating worklist solver over the
+//! pointer flow graph (PFG) with on-the-fly call-graph construction,
+//! implementing the rules of Fig. 7 of the paper.
+//!
+//! The solver is generic over a [`ContextSelector`] (context insensitivity,
+//! `k`-obj/`k`-type/`k`-call-site, selective) and over a [`Plugin`] that can
+//! observe solver events and manipulate the PFG. Cut-Shortcut is implemented
+//! entirely as such a plugin (`crate::csc`): its `cutStores`/`cutReturns`
+//! sets suppress edge creation in the `[Store]`/`[Return]` rules, and its
+//! shortcut edges (`E_SC`) enter the graph through [`SolverState::add_edge`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use csc_ir::{
+    CallKind, CallSiteId, CastId, FieldId, LoadId, MethodId, ObjId, Program, Stmt, StoreId, VarId,
+};
+
+use crate::context::{CallInfo, ContextSelector, CtxId, CtxInterner};
+use crate::pts::PointsToSet;
+
+/// A dense id for a PFG pointer (context-qualified variable or
+/// context-qualified abstract object's field).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PtrId(pub u32);
+
+/// A dense id for a context-qualified abstract object.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CsObjId(pub u32);
+
+/// What a [`PtrId`] denotes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PtrKey {
+    /// A variable under a context.
+    Var(CtxId, VarId),
+    /// An instance field of a context-qualified object.
+    Field(CsObjId, FieldId),
+}
+
+/// Provenance of a PFG edge; lets plugins distinguish load edges from
+/// return edges etc. (needed by the `[RelayEdge]` rule).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Local assignment (`[Assign]`).
+    Assign,
+    /// Reference cast (treated as assignment, as in Tai-e).
+    Cast(CastId),
+    /// Field load edge `o.f -> x` (`[Load]`).
+    Load(LoadId),
+    /// Field store edge `y -> o.f` (`[Store]`).
+    Store(StoreId),
+    /// Argument-to-parameter edge (`[Param]`).
+    Param,
+    /// Return-variable-to-call-site-lhs edge (`[Return]`); carries the
+    /// callee method.
+    Return(MethodId),
+    /// A shortcut edge added by the Cut-Shortcut plugin (`[Shortcut]`).
+    Shortcut(ShortcutKind),
+}
+
+/// Which Cut-Shortcut rule produced a shortcut edge.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ShortcutKind {
+    /// `[ShortcutStore]` — field access pattern, stores.
+    Store,
+    /// `[ShortcutLoad]` — field access pattern, loads.
+    Load,
+    /// `[RelayEdge]` — soundness relay for mixed returns.
+    Relay,
+    /// `[ShortcutContainer]` — container access pattern.
+    Container,
+    /// `[ShortcutLFlow]` — local flow pattern.
+    LocalFlow,
+}
+
+/// An observable solver event, delivered to the [`Plugin`] in order.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// `delta` was added to `pt(ptr)`.
+    NewPointsTo {
+        /// The pointer whose set grew.
+        ptr: PtrId,
+        /// Exactly the new objects.
+        delta: PointsToSet,
+    },
+    /// A new call-graph edge was discovered.
+    NewCallEdge {
+        /// Caller context.
+        caller_ctx: CtxId,
+        /// The call site.
+        site: CallSiteId,
+        /// Callee context.
+        callee_ctx: CtxId,
+        /// Resolved callee.
+        callee: MethodId,
+    },
+    /// A method became reachable under a context.
+    NewReachable {
+        /// The context.
+        ctx: CtxId,
+        /// The method.
+        method: MethodId,
+    },
+    /// A PFG edge was added.
+    NewEdge {
+        /// Source pointer.
+        src: PtrId,
+        /// Target pointer.
+        dst: PtrId,
+        /// Provenance.
+        kind: EdgeKind,
+    },
+}
+
+/// A solver extension. The Cut-Shortcut analysis is the canonical
+/// implementation; [`NoPlugin`] is the identity.
+pub trait Plugin {
+    /// Called once before solving starts.
+    fn init(&mut self, st: &mut SolverState<'_>) {
+        let _ = st;
+    }
+
+    /// Whether the plugin wants [`Event`]s delivered (skipping event
+    /// bookkeeping keeps plain analyses allocation-light).
+    fn wants_events(&self) -> bool {
+        false
+    }
+
+    /// Handles one event. May freely add edges / points-to facts via the
+    /// state.
+    fn handle(&mut self, st: &mut SolverState<'_>, ev: Event) {
+        let _ = (st, ev);
+    }
+
+    /// `[Store]` cut check: whether the given store site's PFG edges are
+    /// suppressed (`cutStores`).
+    fn is_store_cut(&self, site: StoreId) -> bool {
+        let _ = site;
+        false
+    }
+
+    /// `[Return]` cut check: whether return edges from `m`'s return variable
+    /// are suppressed (`cutReturns`).
+    fn is_return_cut(&self, m: MethodId) -> bool {
+        let _ = m;
+        false
+    }
+}
+
+/// The identity plugin (plain Andersen-style analysis).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoPlugin;
+
+impl Plugin for NoPlugin {}
+
+/// Solver termination status.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Fixpoint reached.
+    Completed,
+    /// The time or propagation budget was exhausted first.
+    Timeout,
+}
+
+/// Resource limits, emulating the paper's 2-hour budget.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock limit.
+    pub time: Option<Duration>,
+    /// Maximum number of points-to propagations (deterministic limit,
+    /// useful in tests).
+    pub max_propagations: Option<u64>,
+}
+
+impl Budget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Wall-clock limit only.
+    pub fn with_time(d: Duration) -> Self {
+        Budget {
+            time: Some(d),
+            max_propagations: None,
+        }
+    }
+}
+
+/// Counters reported alongside results.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SolverStats {
+    /// Worklist propagations with a non-empty delta.
+    pub propagations: u64,
+    /// PFG edges added.
+    pub edges: u64,
+    /// Call-graph edges added.
+    pub call_edges: u64,
+    /// Reachable (context, method) pairs.
+    pub reachable: u64,
+    /// Distinct pointers interned.
+    pub pointers: u64,
+    /// Distinct context-qualified objects interned.
+    pub objects: u64,
+}
+
+/// Per-variable static usage index (which loads/stores/calls have the
+/// variable as base/receiver), built once per program.
+struct VarUses {
+    loads_with_base: Vec<Vec<LoadId>>,
+    stores_with_base: Vec<Vec<StoreId>>,
+    calls_with_recv: Vec<Vec<CallSiteId>>,
+}
+
+impl VarUses {
+    fn build(program: &Program) -> Self {
+        let n = program.vars().len();
+        let mut uses = VarUses {
+            loads_with_base: vec![Vec::new(); n],
+            stores_with_base: vec![Vec::new(); n],
+            calls_with_recv: vec![Vec::new(); n],
+        };
+        for (i, l) in program.loads().iter().enumerate() {
+            uses.loads_with_base[l.base().index()].push(LoadId::from_usize(i));
+        }
+        for (i, s) in program.stores().iter().enumerate() {
+            uses.stores_with_base[s.base().index()].push(StoreId::from_usize(i));
+        }
+        for (i, c) in program.call_sites().iter().enumerate() {
+            if let Some(r) = c.recv() {
+                uses.calls_with_recv[r.index()].push(CallSiteId::from_usize(i));
+            }
+        }
+        uses
+    }
+}
+
+/// The complete mutable analysis state. Plugins receive `&mut` access.
+pub struct SolverState<'p> {
+    /// The program under analysis.
+    pub program: &'p Program,
+    /// Context interner.
+    pub interner: CtxInterner,
+
+    ptr_table: HashMap<PtrKey, PtrId>,
+    ptr_keys: Vec<PtrKey>,
+    obj_table: HashMap<(CtxId, ObjId), CsObjId>,
+    obj_keys: Vec<(CtxId, ObjId)>,
+
+    pts: Vec<PointsToSet>,
+    /// Successors with an optional cast filter: only objects whose class
+    /// is a subtype of the filter class propagate along the edge
+    /// (`checkcast` semantics, as in Tai-e and Doop).
+    succ: Vec<Vec<(PtrId, Option<csc_ir::ClassId>)>>,
+    edge_set: HashSet<(PtrId, PtrId)>,
+
+    worklist: VecDeque<(PtrId, PointsToSet)>,
+    events: VecDeque<Event>,
+    emit_events: bool,
+
+    reachable: HashSet<(CtxId, MethodId)>,
+    call_edge_set: HashSet<(CtxId, CallSiteId, CtxId, MethodId)>,
+    call_edges: Vec<(CtxId, CallSiteId, CtxId, MethodId)>,
+    call_edges_by_callee: HashMap<MethodId, Vec<(CtxId, CallSiteId, CtxId)>>,
+
+    uses: VarUses,
+
+    /// Counters.
+    pub stats: SolverStats,
+    budget: Budget,
+    started: Instant,
+}
+
+impl<'p> SolverState<'p> {
+    fn new(program: &'p Program, budget: Budget) -> Self {
+        SolverState {
+            program,
+            interner: CtxInterner::new(),
+            ptr_table: HashMap::new(),
+            ptr_keys: Vec::new(),
+            obj_table: HashMap::new(),
+            obj_keys: Vec::new(),
+            pts: Vec::new(),
+            succ: Vec::new(),
+            edge_set: HashSet::new(),
+            worklist: VecDeque::new(),
+            events: VecDeque::new(),
+            emit_events: false,
+            reachable: HashSet::new(),
+            call_edge_set: HashSet::new(),
+            call_edges: Vec::new(),
+            call_edges_by_callee: HashMap::new(),
+            uses: VarUses::build(program),
+            stats: SolverStats::default(),
+            budget,
+            started: Instant::now(),
+        }
+    }
+
+    // ---- interning -------------------------------------------------------
+
+    /// Interns a context-qualified variable pointer.
+    pub fn var_ptr(&mut self, ctx: CtxId, v: VarId) -> PtrId {
+        self.intern_ptr(PtrKey::Var(ctx, v))
+    }
+
+    /// Interns a field pointer.
+    pub fn field_ptr(&mut self, obj: CsObjId, f: FieldId) -> PtrId {
+        self.intern_ptr(PtrKey::Field(obj, f))
+    }
+
+    fn intern_ptr(&mut self, key: PtrKey) -> PtrId {
+        if let Some(&p) = self.ptr_table.get(&key) {
+            return p;
+        }
+        let id = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
+        self.ptr_keys.push(key);
+        self.ptr_table.insert(key, id);
+        self.pts.push(PointsToSet::new());
+        self.succ.push(Vec::new());
+        self.stats.pointers += 1;
+        id
+    }
+
+    /// Interns a context-qualified object.
+    pub fn cs_obj(&mut self, ctx: CtxId, obj: ObjId) -> CsObjId {
+        if let Some(&o) = self.obj_table.get(&(ctx, obj)) {
+            return o;
+        }
+        let id = CsObjId(u32::try_from(self.obj_keys.len()).expect("too many objects"));
+        self.obj_keys.push((ctx, obj));
+        self.obj_table.insert((ctx, obj), id);
+        self.stats.objects += 1;
+        id
+    }
+
+    /// What a pointer id denotes.
+    pub fn ptr_key(&self, p: PtrId) -> PtrKey {
+        self.ptr_keys[p.0 as usize]
+    }
+
+    /// The (heap context, allocation site) behind a [`CsObjId`].
+    pub fn obj_key(&self, o: CsObjId) -> (CtxId, ObjId) {
+        self.obj_keys[o.0 as usize]
+    }
+
+    /// Number of interned pointers.
+    pub fn ptr_count(&self) -> usize {
+        self.ptr_keys.len()
+    }
+
+    /// Number of interned context-qualified objects.
+    pub fn obj_count(&self) -> usize {
+        self.obj_keys.len()
+    }
+
+    /// Current points-to set of a pointer.
+    pub fn pt(&self, p: PtrId) -> &PointsToSet {
+        &self.pts[p.0 as usize]
+    }
+
+    /// Looks up an already-interned pointer without creating it.
+    pub fn find_ptr(&self, key: PtrKey) -> Option<PtrId> {
+        self.ptr_table.get(&key).copied()
+    }
+
+    // ---- mutation (also used by plugins) ----------------------------------
+
+    /// Adds a PFG edge (deduplicated). New edges immediately flush the
+    /// source's current points-to set to the target. Cast edges carry a
+    /// type filter (`checkcast` semantics): only objects assignable to the
+    /// cast target propagate, as in Tai-e and Doop.
+    pub fn add_edge(&mut self, src: PtrId, dst: PtrId, kind: EdgeKind) {
+        if src == dst || !self.edge_set.insert((src, dst)) {
+            return;
+        }
+        let filter = match kind {
+            EdgeKind::Cast(id) => self.program.cast(id).ty().as_class(),
+            _ => None,
+        };
+        self.succ[src.0 as usize].push((dst, filter));
+        self.stats.edges += 1;
+        let pts = self.pts[src.0 as usize].clone();
+        if !pts.is_empty() {
+            let filtered = self.apply_filter(&pts, filter);
+            if !filtered.is_empty() {
+                self.worklist.push_back((dst, filtered));
+            }
+        }
+        if self.emit_events {
+            self.events.push_back(Event::NewEdge { src, dst, kind });
+        }
+    }
+
+    /// Restricts a set to objects assignable to `filter` (identity for
+    /// unfiltered edges).
+    fn apply_filter(
+        &self,
+        objs: &PointsToSet,
+        filter: Option<csc_ir::ClassId>,
+    ) -> PointsToSet {
+        match filter {
+            None => objs.clone(),
+            Some(class) => objs
+                .iter()
+                .filter(|&o| {
+                    let (_, obj) = self.obj_keys[o as usize];
+                    self.program
+                        .is_subclass(self.program.obj(obj).class(), class)
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a PFG edge already exists.
+    pub fn has_edge(&self, src: PtrId, dst: PtrId) -> bool {
+        self.edge_set.contains(&(src, dst))
+    }
+
+    /// Injects objects into a pointer's points-to set (via the worklist).
+    pub fn add_points_to(&mut self, ptr: PtrId, objs: PointsToSet) {
+        if !objs.is_empty() {
+            self.worklist.push_back((ptr, objs));
+        }
+    }
+
+    /// All call-graph edges onto `callee`, as
+    /// `(caller context, call site, callee context)` triples.
+    pub fn call_edges_of(&self, callee: MethodId) -> &[(CtxId, CallSiteId, CtxId)] {
+        self.call_edges_by_callee
+            .get(&callee)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All call-graph edges.
+    pub fn call_edges(&self) -> &[(CtxId, CallSiteId, CtxId, MethodId)] {
+        &self.call_edges
+    }
+
+    /// All reachable (context, method) pairs.
+    pub fn reachable(&self) -> &HashSet<(CtxId, MethodId)> {
+        &self.reachable
+    }
+
+    /// Elapsed wall-clock time since solving began.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    // ---- core algorithm ---------------------------------------------------
+
+    fn add_reachable<S: ContextSelector, P: Plugin>(
+        &mut self,
+        selector: &S,
+        plugin: &P,
+        ctx: CtxId,
+        method: MethodId,
+    ) {
+        if !self.reachable.insert((ctx, method)) {
+            return;
+        }
+        self.stats.reachable += 1;
+        if self.emit_events {
+            self.events.push_back(Event::NewReachable { ctx, method });
+        }
+        let m = self.program.method(method);
+        let mut news: Vec<(VarId, ObjId)> = Vec::new();
+        let mut assigns: Vec<(VarId, VarId, EdgeKind)> = Vec::new();
+        let mut static_calls: Vec<CallSiteId> = Vec::new();
+        m.visit_stmts(|s| match s {
+            Stmt::New { lhs, obj } => news.push((*lhs, *obj)),
+            Stmt::Assign { lhs, rhs } => assigns.push((*rhs, *lhs, EdgeKind::Assign)),
+            Stmt::Cast(id) => {
+                let c = self.program.cast(*id);
+                assigns.push((c.rhs(), c.lhs(), EdgeKind::Cast(*id)));
+            }
+            Stmt::Call(id) => {
+                if self.program.call_site(*id).kind() == CallKind::Static {
+                    static_calls.push(*id);
+                }
+            }
+            _ => {}
+        });
+        for (lhs, obj) in news {
+            let hctx = selector.select_heap(self.program, &mut self.interner, ctx, obj);
+            let cs = self.cs_obj(hctx, obj);
+            let ptr = self.var_ptr(ctx, lhs);
+            self.worklist.push_back((ptr, PointsToSet::singleton(cs.0)));
+        }
+        for (rhs, lhs, kind) in assigns {
+            let s = self.var_ptr(ctx, rhs);
+            let t = self.var_ptr(ctx, lhs);
+            self.add_edge(s, t, kind);
+        }
+        for site in static_calls {
+            let callee = self.program.call_site(site).target();
+            let callee_ctx = selector.select_call(
+                self.program,
+                &mut self.interner,
+                CallInfo {
+                    caller_ctx: ctx,
+                    site,
+                    callee,
+                    recv: None,
+                },
+            );
+            self.add_call_edge(selector, plugin, ctx, site, callee_ctx, callee);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_call_edge<S: ContextSelector, P: Plugin>(
+        &mut self,
+        selector: &S,
+        plugin: &P,
+        caller_ctx: CtxId,
+        site: CallSiteId,
+        callee_ctx: CtxId,
+        callee: MethodId,
+    ) {
+        if !self
+            .call_edge_set
+            .insert((caller_ctx, site, callee_ctx, callee))
+        {
+            return;
+        }
+        self.call_edges
+            .push((caller_ctx, site, callee_ctx, callee));
+        self.call_edges_by_callee
+            .entry(callee)
+            .or_default()
+            .push((caller_ctx, site, callee_ctx));
+        self.stats.call_edges += 1;
+        self.add_reachable(selector, plugin, callee_ctx, callee);
+        let cs = self.program.call_site(site);
+        let m = self.program.method(callee);
+        // [Param]: argument -> parameter edges (excluding the receiver,
+        // which is populated object-by-object in [Call]).
+        for (k, &param) in m.params().iter().enumerate() {
+            let arg = cs.args()[k];
+            let s = self.var_ptr(caller_ctx, arg);
+            let t = self.var_ptr(callee_ctx, param);
+            self.add_edge(s, t, EdgeKind::Param);
+        }
+        // [Return]: suppressed when the callee's return variable is in
+        // cutReturns.
+        if let (Some(lhs), Some(ret)) = (cs.lhs(), m.ret_var()) {
+            if !plugin.is_return_cut(callee) {
+                let s = self.var_ptr(callee_ctx, ret);
+                let t = self.var_ptr(caller_ctx, lhs);
+                self.add_edge(s, t, EdgeKind::Return(callee));
+            }
+        }
+        if self.emit_events {
+            self.events.push_back(Event::NewCallEdge {
+                caller_ctx,
+                site,
+                callee_ctx,
+                callee,
+            });
+        }
+    }
+
+    /// Processes one worklist entry. Returns `false` when the budget is
+    /// exhausted.
+    fn step<S: ContextSelector, P: Plugin>(
+        &mut self,
+        selector: &S,
+        plugin: &P,
+        ptr: PtrId,
+        incoming: PointsToSet,
+    ) -> bool {
+        let Some(delta) = self.pts[ptr.0 as usize].union_delta(&incoming) else {
+            return true;
+        };
+        self.stats.propagations += 1;
+        if let Some(max) = self.budget.max_propagations {
+            if self.stats.propagations > max {
+                return false;
+            }
+        }
+        if let Some(limit) = self.budget.time {
+            // Checking the clock every 4096 propagations keeps overhead low.
+            if self.stats.propagations % 4096 == 0 && self.started.elapsed() > limit {
+                return false;
+            }
+        }
+
+        // [Propagate] along PFG edges (respecting cast filters).
+        for i in 0..self.succ[ptr.0 as usize].len() {
+            let (t, filter) = self.succ[ptr.0 as usize][i];
+            let out = self.apply_filter(&delta, filter);
+            if !out.is_empty() {
+                self.worklist.push_back((t, out));
+            }
+        }
+
+        if let PtrKey::Var(ctx, v) = self.ptr_keys[ptr.0 as usize] {
+            // [Load]
+            for i in 0..self.uses.loads_with_base[v.index()].len() {
+                let l = self.uses.loads_with_base[v.index()][i];
+                let site = self.program.load(l);
+                let (lhs, field) = (site.lhs(), site.field());
+                let t = self.var_ptr(ctx, lhs);
+                for o in delta.iter() {
+                    let s = self.field_ptr(CsObjId(o), field);
+                    self.add_edge(s, t, EdgeKind::Load(l));
+                }
+            }
+            // [Store] (cut-aware)
+            for i in 0..self.uses.stores_with_base[v.index()].len() {
+                let st = self.uses.stores_with_base[v.index()][i];
+                if plugin.is_store_cut(st) {
+                    continue;
+                }
+                let site = self.program.store(st);
+                let (rhs, field) = (site.rhs(), site.field());
+                let s = self.var_ptr(ctx, rhs);
+                for o in delta.iter() {
+                    let t = self.field_ptr(CsObjId(o), field);
+                    self.add_edge(s, t, EdgeKind::Store(st));
+                }
+            }
+            // [Call]
+            for i in 0..self.uses.calls_with_recv[v.index()].len() {
+                let site = self.uses.calls_with_recv[v.index()][i];
+                for o in delta.iter() {
+                    self.process_instance_call(selector, plugin, ctx, site, CsObjId(o));
+                }
+            }
+        }
+
+        if self.emit_events {
+            self.events.push_back(Event::NewPointsTo { ptr, delta });
+        }
+        true
+    }
+
+    fn process_instance_call<S: ContextSelector, P: Plugin>(
+        &mut self,
+        selector: &S,
+        plugin: &P,
+        caller_ctx: CtxId,
+        site: CallSiteId,
+        recv: CsObjId,
+    ) {
+        let cs = self.program.call_site(site);
+        let (heap_ctx, obj) = self.obj_key(recv);
+        let callee = match cs.kind() {
+            CallKind::Virtual => {
+                let class = self.program.obj(obj).class();
+                match self.program.dispatch(class, cs.target()) {
+                    Some(m) => m,
+                    None => return, // no concrete impl: spurious receiver
+                }
+            }
+            CallKind::Special => cs.target(),
+            CallKind::Static => unreachable!("static calls have no receiver"),
+        };
+        let callee_ctx = selector.select_call(
+            self.program,
+            &mut self.interner,
+            CallInfo {
+                caller_ctx,
+                site,
+                callee,
+                recv: Some((heap_ctx, obj)),
+            },
+        );
+        self.add_call_edge(selector, plugin, caller_ctx, site, callee_ctx, callee);
+        // [Call]: the receiver object flows into the callee's `this`.
+        if let Some(this) = self.program.method(callee).this_var() {
+            let t = self.var_ptr(callee_ctx, this);
+            self.worklist
+                .push_back((t, PointsToSet::singleton(recv.0)));
+        }
+    }
+
+    // ---- context-insensitive projections (used by clients) ----------------
+
+    /// Union of `pt(c:v)` over all contexts `c`, projected to allocation
+    /// sites.
+    pub fn pt_var_projected(&self, v: VarId) -> HashSet<ObjId> {
+        let mut out = HashSet::new();
+        for (i, key) in self.ptr_keys.iter().enumerate() {
+            if let PtrKey::Var(_, var) = key {
+                if *var == v {
+                    for o in self.pts[i].iter() {
+                        out.insert(self.obj_keys[o as usize].1);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Context-insensitive projection of the reachable-method set.
+    pub fn reachable_methods_projected(&self) -> HashSet<MethodId> {
+        self.reachable.iter().map(|&(_, m)| m).collect()
+    }
+
+    /// Context-insensitive projection of the call graph.
+    pub fn call_edges_projected(&self) -> HashSet<(CallSiteId, MethodId)> {
+        self.call_edges
+            .iter()
+            .map(|&(_, site, _, callee)| (site, callee))
+            .collect()
+    }
+}
+
+/// A configured pointer-analysis run.
+pub struct Solver<'p, S, P> {
+    state: SolverState<'p>,
+    selector: S,
+    plugin: P,
+}
+
+/// The outcome of a solver run: final state plus status and timing.
+pub struct PtaResult<'p> {
+    /// The final analysis state (points-to sets, call graph, stats).
+    pub state: SolverState<'p>,
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// The selector name (e.g. `"ci"`, `"2obj"`).
+    pub analysis: String,
+}
+
+impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
+    /// Creates a solver for `program` with the given policy and plugin.
+    pub fn new(program: &'p Program, selector: S, plugin: P, budget: Budget) -> Self {
+        Solver {
+            state: SolverState::new(program, budget),
+            selector,
+            plugin,
+        }
+    }
+
+    /// Runs to fixpoint (or budget exhaustion) and returns the result
+    /// together with the plugin (which may carry analysis-specific data,
+    /// e.g. Cut-Shortcut's involved-method set).
+    pub fn solve(mut self) -> (PtaResult<'p>, P) {
+        let start = Instant::now();
+        self.state.started = start;
+        self.state.emit_events = self.plugin.wants_events();
+        self.plugin.init(&mut self.state);
+        let entry = self.state.program.entry();
+        self.state
+            .add_reachable(&self.selector, &self.plugin, CtxId::EMPTY, entry);
+        let mut status = SolveStatus::Completed;
+        loop {
+            if let Some((ptr, incoming)) = self.state.worklist.pop_front() {
+                if !self.state.step(&self.selector, &self.plugin, ptr, incoming) {
+                    status = SolveStatus::Timeout;
+                    break;
+                }
+            } else if let Some(ev) = self.state.events.pop_front() {
+                self.plugin.handle(&mut self.state, ev);
+            } else {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        (
+            PtaResult {
+                state: self.state,
+                status,
+                elapsed,
+                analysis: self.selector.name().to_owned(),
+            },
+            self.plugin,
+        )
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the core data structures: points-to sets and
+//! the context interner.
+
+use csc_core::{CtxElem, CtxInterner, PointsToSet};
+use csc_ir::ObjId;
+use proptest::prelude::*;
+
+proptest! {
+    /// union_delta returns exactly the new elements and leaves the set
+    /// equal to the mathematical union.
+    #[test]
+    fn union_delta_is_exact(a in proptest::collection::vec(0u32..500, 0..60),
+                            b in proptest::collection::vec(0u32..500, 0..60)) {
+        let mut s: PointsToSet = a.iter().copied().collect();
+        let other: PointsToSet = b.iter().copied().collect();
+        let before: std::collections::BTreeSet<u32> = s.iter().collect();
+        let delta = s.union_delta(&other);
+        let after: std::collections::BTreeSet<u32> = s.iter().collect();
+        let expect: std::collections::BTreeSet<u32> =
+            a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(&after, &expect);
+        match delta {
+            None => prop_assert!(other.iter().all(|e| before.contains(&e))),
+            Some(d) => {
+                let dset: std::collections::BTreeSet<u32> = d.iter().collect();
+                let new: std::collections::BTreeSet<u32> =
+                    b.iter().copied().filter(|e| !before.contains(e)).collect();
+                prop_assert_eq!(dset, new);
+            }
+        }
+    }
+
+    /// Sets stay sorted and deduplicated under arbitrary insertions.
+    #[test]
+    fn insert_keeps_sorted_unique(elems in proptest::collection::vec(0u32..100, 0..200)) {
+        let mut s = PointsToSet::new();
+        for e in &elems {
+            s.insert(*e);
+        }
+        let v: Vec<u32> = s.iter().collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(v, sorted);
+        for e in elems {
+            prop_assert!(s.contains(e));
+        }
+    }
+
+    /// intersects agrees with the set-theoretic definition.
+    #[test]
+    fn intersects_agrees(a in proptest::collection::vec(0u32..50, 0..30),
+                         b in proptest::collection::vec(0u32..50, 0..30)) {
+        let sa: PointsToSet = a.iter().copied().collect();
+        let sb: PointsToSet = b.iter().copied().collect();
+        let expect = a.iter().any(|x| b.contains(x));
+        prop_assert_eq!(sa.intersects(&sb), expect);
+        prop_assert_eq!(sb.intersects(&sa), expect);
+    }
+
+    /// Interning is injective on context strings and append_k keeps exactly
+    /// the last k elements.
+    #[test]
+    fn interner_append_k(elems in proptest::collection::vec(0u32..40, 0..20), k in 0usize..4) {
+        let mut interner = CtxInterner::new();
+        let mut ctx = csc_core::CtxId::EMPTY;
+        let mut expect: Vec<CtxElem> = Vec::new();
+        for e in elems {
+            let el = CtxElem::Obj(ObjId::new(e));
+            ctx = interner.append_k(ctx, el, k);
+            expect.push(el);
+            if expect.len() > k {
+                let cut = expect.len() - k;
+                expect.drain(..cut);
+            }
+            prop_assert_eq!(interner.elems(ctx), expect.as_slice());
+        }
+        // Re-interning the same string yields the same id.
+        let again = interner.intern(expect.clone());
+        prop_assert_eq!(again, ctx);
+    }
+}

@@ -1,0 +1,254 @@
+//! Abstract syntax tree for MiniJava.
+
+use crate::error::Pos;
+
+/// A parsed compilation unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceProgram {
+    /// All class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass name (`None` means `Object`).
+    pub superclass: Option<String>,
+    /// Whether the class is abstract.
+    pub is_abstract: bool,
+    /// Declared fields.
+    pub fields: Vec<FieldDecl>,
+    /// Declared methods (including constructors).
+    pub methods: Vec<MethodDecl>,
+    /// Source position of the `class` keyword.
+    pub pos: Pos,
+}
+
+/// A field declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Declared type.
+    pub ty: TypeName,
+    /// Field name.
+    pub name: String,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A method or constructor declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// `static` modifier.
+    pub is_static: bool,
+    /// `abstract` modifier (no body).
+    pub is_abstract: bool,
+    /// Whether this is a constructor (name equals the class name).
+    pub is_ctor: bool,
+    /// Return type (constructors use `void`).
+    pub ret: TypeName,
+    /// Method name.
+    pub name: String,
+    /// Parameters as `(type, name)` pairs.
+    pub params: Vec<(TypeName, String)>,
+    /// Body (absent for abstract methods).
+    pub body: Option<Vec<AStmt>>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A syntactic type name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeName {
+    /// `int`
+    Int,
+    /// `boolean`
+    Boolean,
+    /// `void`
+    Void,
+    /// A class name.
+    Named(String),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AStmt {
+    /// `T x;` or `T x = e;`
+    Decl {
+        /// Declared type.
+        ty: TypeName,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `target = e;`
+    Assign {
+        /// Assignment target (variable or field).
+        target: Target,
+        /// Assigned expression.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// An expression evaluated for effect (must be a call).
+    ExprStmt(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<AStmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<AStmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<AStmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `return;` or `return e;`
+    Return {
+        /// Returned expression, if any.
+        value: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `super(args);` — superclass constructor invocation.
+    SuperCall {
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// An assignment target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// A local variable.
+    Var(String, Pos),
+    /// A field of an arbitrary base expression (`base.name = ..`).
+    Field {
+        /// The base object expression.
+        base: Expr,
+        /// Field name.
+        name: String,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// Binary operators at the AST level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ABinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// `this`
+    This(Pos),
+    /// A name (local variable, or a class name when used as a static-call
+    /// receiver — disambiguated during lowering).
+    Var(String, Pos),
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Boolean literal.
+    Bool(bool, Pos),
+    /// `null`
+    Null(Pos),
+    /// `new C(args)`
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `base.name` (field read).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `base.name(args)`; a `None` base means an unqualified call (implicit
+    /// `this` or a static method of the enclosing class).
+    Call {
+        /// Receiver expression (or `None` for unqualified calls).
+        base: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `(T) e`
+    Cast {
+        /// Target class name.
+        ty: String,
+        /// Casted expression.
+        expr: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `a <op> b` over primitives.
+    Bin {
+        /// Operator.
+        op: ABinOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::This(p)
+            | Expr::Var(_, p)
+            | Expr::Int(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Null(p) => *p,
+            Expr::New { pos, .. }
+            | Expr::Field { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::Cast { pos, .. }
+            | Expr::Bin { pos, .. } => *pos,
+        }
+    }
+}

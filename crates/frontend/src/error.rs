@@ -1,0 +1,61 @@
+//! Frontend diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced by any frontend phase (lexing, parsing, resolution,
+/// lowering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Source position where the error was detected.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// Creates a new error.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        FrontendError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for FrontendError {}
+
+/// Convenient alias for frontend results.
+pub type Result<T> = std::result::Result<T, FrontendError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = FrontendError::new(Pos { line: 3, col: 14 }, "unexpected token");
+        assert_eq!(e.to_string(), "3:14: unexpected token");
+    }
+}

@@ -1,0 +1,397 @@
+//! Hand-written lexer for MiniJava.
+
+use crate::error::{FrontendError, Pos, Result};
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (class/method/field/variable name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keyword `class`.
+    Class,
+    /// Keyword `abstract`.
+    Abstract,
+    /// Keyword `extends`.
+    Extends,
+    /// Keyword `static`.
+    Static,
+    /// Keyword `void`.
+    Void,
+    /// Keyword `int`.
+    IntKw,
+    /// Keyword `boolean`.
+    BooleanKw,
+    /// Keyword `if`.
+    If,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `while`.
+    While,
+    /// Keyword `return`.
+    Return,
+    /// Keyword `new`.
+    New,
+    /// Keyword `this`.
+    This,
+    /// Keyword `super`.
+    Super,
+    /// Keyword `null`.
+    Null,
+    /// Keyword `true`.
+    True,
+    /// Keyword `false`.
+    False,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Short printable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    fn lexeme(&self) -> &'static str {
+        match self {
+            Tok::Class => "class",
+            Tok::Abstract => "abstract",
+            Tok::Extends => "extends",
+            Tok::Static => "static",
+            Tok::Void => "void",
+            Tok::IntKw => "int",
+            Tok::BooleanKw => "boolean",
+            Tok::If => "if",
+            Tok::Else => "else",
+            Tok::While => "while",
+            Tok::Return => "return",
+            Tok::New => "new",
+            Tok::This => "this",
+            Tok::Super => "super",
+            Tok::Null => "null",
+            Tok::True => "true",
+            Tok::False => "false",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Dot => ".",
+            Tok::Assign => "=",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Percent => "%",
+            Tok::Ident(_) | Tok::Int(_) | Tok::Eof => unreachable!(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes the entire source, ending with a [`Tok::Eof`] token.
+///
+/// # Errors
+///
+/// Returns an error on unknown characters, unterminated block comments, or
+/// integer literals that overflow `i64`.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(FrontendError::new(pos, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'{' => {
+                toks.push(Token { tok: Tok::LBrace, pos });
+                bump!();
+            }
+            b'}' => {
+                toks.push(Token { tok: Tok::RBrace, pos });
+                bump!();
+            }
+            b'(' => {
+                toks.push(Token { tok: Tok::LParen, pos });
+                bump!();
+            }
+            b')' => {
+                toks.push(Token { tok: Tok::RParen, pos });
+                bump!();
+            }
+            b';' => {
+                toks.push(Token { tok: Tok::Semi, pos });
+                bump!();
+            }
+            b',' => {
+                toks.push(Token { tok: Tok::Comma, pos });
+                bump!();
+            }
+            b'.' => {
+                toks.push(Token { tok: Tok::Dot, pos });
+                bump!();
+            }
+            b'+' => {
+                toks.push(Token { tok: Tok::Plus, pos });
+                bump!();
+            }
+            b'-' => {
+                toks.push(Token { tok: Tok::Minus, pos });
+                bump!();
+            }
+            b'*' => {
+                toks.push(Token { tok: Tok::Star, pos });
+                bump!();
+            }
+            b'%' => {
+                toks.push(Token { tok: Tok::Percent, pos });
+                bump!();
+            }
+            b'=' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    toks.push(Token { tok: Tok::EqEq, pos });
+                } else {
+                    toks.push(Token { tok: Tok::Assign, pos });
+                }
+            }
+            b'!' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    toks.push(Token { tok: Tok::NotEq, pos });
+                } else {
+                    return Err(FrontendError::new(pos, "expected `!=`"));
+                }
+            }
+            b'<' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    toks.push(Token { tok: Tok::Le, pos });
+                } else {
+                    toks.push(Token { tok: Tok::Lt, pos });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let value: i64 = text.parse().map_err(|_| {
+                    FrontendError::new(pos, format!("integer literal `{text}` overflows i64"))
+                })?;
+                toks.push(Token {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    bump!();
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "class" => Tok::Class,
+                    "abstract" => Tok::Abstract,
+                    "extends" => Tok::Extends,
+                    "static" => Tok::Static,
+                    "void" => Tok::Void,
+                    "int" => Tok::IntKw,
+                    "boolean" => Tok::BooleanKw,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "new" => Tok::New,
+                    "this" => Tok::This,
+                    "super" => Tok::Super,
+                    "null" => Tok::Null,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                toks.push(Token { tok, pos });
+            }
+            other => {
+                return Err(FrontendError::new(
+                    pos,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_keywords_and_idents() {
+        assert_eq!(
+            kinds("class Foo extends Bar"),
+            vec![
+                Tok::Class,
+                Tok::Ident("Foo".into()),
+                Tok::Extends,
+                Tok::Ident("Bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("= == != < <= + - * %"),
+            vec![
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Percent,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n comment */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        let err = lex("a & b").unwrap_err();
+        assert!(err.message.contains('&'));
+    }
+
+    #[test]
+    fn int_literals() {
+        assert_eq!(kinds("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! The evaluator: direct interpretation of the structured IR.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use csc_ir::{BinOp, CallKind, CallSiteId, MethodId, Program, Stmt, Type, VarId};
+
+use crate::heap::{Heap, Value};
+
+/// Interpreter limits.
+#[derive(Copy, Clone, Debug)]
+pub struct InterpConfig {
+    /// Maximum number of executed statements.
+    pub max_steps: u64,
+    /// Maximum call depth; deeper calls return `null` (counted in
+    /// [`Trace::truncated_calls`]).
+    pub max_call_depth: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            max_steps: 50_000_000,
+            max_call_depth: 2048,
+        }
+    }
+}
+
+/// The dynamic ground truth recorded by an execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Methods that were entered.
+    pub reached_methods: HashSet<MethodId>,
+    /// `(call site, concrete callee)` pairs that executed.
+    pub call_edges: HashSet<(CallSiteId, MethodId)>,
+    /// Executed statements.
+    pub steps: u64,
+    /// Heap allocations performed.
+    pub allocations: usize,
+    /// Casts that failed at run time (execution continues with `null`,
+    /// which only shrinks later coverage — safe for recall).
+    pub failed_casts: usize,
+    /// Operations skipped due to a `null` base/receiver.
+    pub null_derefs: usize,
+    /// Calls cut short by the depth limit.
+    pub truncated_calls: usize,
+}
+
+/// Execution failed outright (the step budget is the only cause; the partial
+/// trace is preserved).
+#[derive(Debug)]
+pub struct ExecError {
+    /// What was recorded before the budget ran out.
+    pub partial: Trace,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step budget exhausted after {} steps", self.partial.steps)
+    }
+}
+
+impl Error for ExecError {}
+
+/// Runs the program from its entry point and records the dynamic trace.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] (carrying the partial trace) when the step budget
+/// is exhausted.
+pub fn execute(program: &Program, cfg: InterpConfig) -> Result<Trace, ExecError> {
+    let mut interp = Interp {
+        program,
+        heap: Heap::default(),
+        trace: Trace::default(),
+        cfg,
+    };
+    let entry = program.entry();
+    interp.trace.reached_methods.insert(entry);
+    match interp.run_method(entry, None, &[], 0) {
+        Ok(_) => Ok(interp.trace),
+        Err(Stop::Budget) => Err(ExecError {
+            partial: interp.trace,
+        }),
+    }
+}
+
+/// Non-local exit: only the step budget unwinds the whole execution.
+enum Stop {
+    Budget,
+}
+
+/// Block-level control flow.
+enum Flow {
+    Normal,
+    Return,
+}
+
+struct Frame {
+    locals: HashMap<VarId, Value>,
+}
+
+impl Frame {
+    fn read(&self, program: &Program, v: VarId) -> Value {
+        self.locals.get(&v).copied().unwrap_or_else(|| {
+            match program.var(v).ty() {
+                Type::Int => Value::Int(0),
+                Type::Boolean => Value::Bool(false),
+                _ => Value::Null,
+            }
+        })
+    }
+
+    fn write(&mut self, v: VarId, val: Value) {
+        self.locals.insert(v, val);
+    }
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    heap: Heap,
+    trace: Trace,
+    cfg: InterpConfig,
+}
+
+impl Interp<'_> {
+    fn tick(&mut self) -> Result<(), Stop> {
+        self.trace.steps += 1;
+        if self.trace.steps > self.cfg.max_steps {
+            Err(Stop::Budget)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn run_method(
+        &mut self,
+        m: MethodId,
+        this: Option<Value>,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Value, Stop> {
+        let method = self.program.method(m);
+        let mut frame = Frame {
+            locals: HashMap::new(),
+        };
+        if let (Some(tv), Some(t)) = (method.this_var(), this) {
+            frame.write(tv, t);
+        }
+        for (&p, &a) in method.params().iter().zip(args) {
+            frame.write(p, a);
+        }
+        // The body is cloned out of the program to sidestep aliasing with
+        // `&mut self`; bodies are small and this is the recall harness, not
+        // the hot path.
+        let body = method.body().to_vec();
+        self.exec_block(&mut frame, &body, depth)?;
+        Ok(match method.ret_var() {
+            Some(rv) => frame.read(self.program, rv),
+            None => Value::Null,
+        })
+    }
+
+    fn exec_block(&mut self, frame: &mut Frame, body: &[Stmt], depth: usize) -> Result<Flow, Stop> {
+        for s in body {
+            self.tick()?;
+            match s {
+                Stmt::New { lhs, obj } => {
+                    let class = self.program.obj(*obj).class();
+                    let r = self.heap.alloc(class, *obj);
+                    self.trace.allocations += 1;
+                    frame.write(*lhs, Value::Ref(r));
+                }
+                Stmt::Assign { lhs, rhs } => {
+                    let v = frame.read(self.program, *rhs);
+                    frame.write(*lhs, v);
+                }
+                Stmt::Cast(id) => {
+                    let c = self.program.cast(*id);
+                    let v = frame.read(self.program, c.rhs());
+                    let ok = match (v, c.ty()) {
+                        (Value::Null, _) => true,
+                        (Value::Ref(r), Type::Class(target)) => {
+                            self.program.is_subclass(self.heap.get(r).class, target)
+                        }
+                        _ => false,
+                    };
+                    if ok {
+                        frame.write(c.lhs(), v);
+                    } else {
+                        self.trace.failed_casts += 1;
+                        frame.write(c.lhs(), Value::Null);
+                    }
+                }
+                Stmt::Load(id) => {
+                    let l = self.program.load(*id);
+                    match frame.read(self.program, l.base()) {
+                        Value::Ref(r) => {
+                            let v = self
+                                .heap
+                                .get(r)
+                                .fields
+                                .get(&l.field())
+                                .copied()
+                                .unwrap_or_else(|| default_of(self.program, l.lhs()));
+                            frame.write(l.lhs(), v);
+                        }
+                        _ => {
+                            self.trace.null_derefs += 1;
+                            frame.write(l.lhs(), default_of(self.program, l.lhs()));
+                        }
+                    }
+                }
+                Stmt::Store(id) => {
+                    let st = self.program.store(*id);
+                    let v = frame.read(self.program, st.rhs());
+                    match frame.read(self.program, st.base()) {
+                        Value::Ref(r) => {
+                            self.heap.get_mut(r).fields.insert(st.field(), v);
+                        }
+                        _ => self.trace.null_derefs += 1,
+                    }
+                }
+                Stmt::Call(id) => {
+                    self.exec_call(frame, *id, depth)?;
+                }
+                Stmt::Return => return Ok(Flow::Return),
+                Stmt::ConstInt { lhs, value } => frame.write(*lhs, Value::Int(*value)),
+                Stmt::ConstBool { lhs, value } => frame.write(*lhs, Value::Bool(*value)),
+                Stmt::ConstNull { lhs } => frame.write(*lhs, Value::Null),
+                Stmt::BinOp { lhs, op, a, b } => {
+                    let va = frame.read(self.program, *a);
+                    let vb = frame.read(self.program, *b);
+                    frame.write(*lhs, eval_binop(*op, va, vb));
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let branch = if frame.read(self.program, *cond).as_bool() {
+                        then_branch
+                    } else {
+                        else_branch
+                    };
+                    if let Flow::Return = self.exec_block(frame, branch, depth)? {
+                        return Ok(Flow::Return);
+                    }
+                }
+                Stmt::While {
+                    cond_stmts,
+                    cond,
+                    body,
+                } => loop {
+                    if let Flow::Return = self.exec_block(frame, cond_stmts, depth)? {
+                        return Ok(Flow::Return);
+                    }
+                    if !frame.read(self.program, *cond).as_bool() {
+                        break;
+                    }
+                    if let Flow::Return = self.exec_block(frame, body, depth)? {
+                        return Ok(Flow::Return);
+                    }
+                },
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_call(&mut self, frame: &mut Frame, site: CallSiteId, depth: usize) -> Result<(), Stop> {
+        let cs = self.program.call_site(site);
+        let (kind, lhs, target) = (cs.kind(), cs.lhs(), cs.target());
+        let args: Vec<Value> = cs
+            .args()
+            .iter()
+            .map(|&a| frame.read(self.program, a))
+            .collect();
+        let (callee, this) = match kind {
+            CallKind::Static => (Some(target), None),
+            CallKind::Special | CallKind::Virtual => {
+                match cs.recv().map(|r| frame.read(self.program, r)) {
+                    Some(Value::Ref(r)) => {
+                        let callee = if kind == CallKind::Special {
+                            Some(target)
+                        } else {
+                            self.program.dispatch(self.heap.get(r).class, target)
+                        };
+                        (callee, Some(Value::Ref(r)))
+                    }
+                    _ => {
+                        self.trace.null_derefs += 1;
+                        (None, None)
+                    }
+                }
+            }
+        };
+        let result = match callee {
+            Some(callee) if depth < self.cfg.max_call_depth => {
+                self.trace.call_edges.insert((site, callee));
+                self.trace.reached_methods.insert(callee);
+                self.run_method(callee, this, &args, depth + 1)?
+            }
+            Some(_) => {
+                self.trace.truncated_calls += 1;
+                Value::Null
+            }
+            None => Value::Null,
+        };
+        if let Some(lhs) = lhs {
+            frame.write(lhs, result);
+        }
+        Ok(())
+    }
+}
+
+fn default_of(program: &Program, v: VarId) -> Value {
+    match program.var(v).ty() {
+        Type::Int => Value::Int(0),
+        Type::Boolean => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
+    match op {
+        BinOp::Add => Value::Int(a.as_int().wrapping_add(b.as_int())),
+        BinOp::Sub => Value::Int(a.as_int().wrapping_sub(b.as_int())),
+        BinOp::Mul => Value::Int(a.as_int().wrapping_mul(b.as_int())),
+        BinOp::Rem => {
+            let d = b.as_int();
+            Value::Int(if d == 0 { 0 } else { a.as_int() % d })
+        }
+        BinOp::Lt => Value::Bool(a.as_int() < b.as_int()),
+        BinOp::Le => Value::Bool(a.as_int() <= b.as_int()),
+        BinOp::EqInt => Value::Bool(a.as_int() == b.as_int()),
+        BinOp::NeInt => Value::Bool(a.as_int() != b.as_int()),
+        BinOp::EqRef => Value::Bool(a == b),
+        BinOp::NeRef => Value::Bool(a != b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Trace {
+        let program = csc_frontend::compile(src).expect("compiles");
+        execute(&program, InterpConfig::default()).expect("within budget")
+    }
+
+    #[test]
+    fn records_reached_methods_and_edges() {
+        let t = run(r#"
+            class A { void m() { } }
+            class B extends A { void m() { } }
+            class Main {
+                static void main() {
+                    A a = new B();
+                    a.m();
+                }
+            }
+        "#);
+        assert_eq!(t.reached_methods.len(), 2, "main and B.m only");
+        assert_eq!(t.call_edges.len(), 1);
+        assert_eq!(t.allocations, 1);
+    }
+
+    #[test]
+    fn loops_and_arithmetic() {
+        let t = run(r#"
+            class Main {
+                static void main() {
+                    int i = 0;
+                    int sum = 0;
+                    while (i < 10) {
+                        sum = sum + i;
+                        i = i + 1;
+                    }
+                }
+            }
+        "#);
+        assert!(t.steps > 30);
+    }
+
+    #[test]
+    fn field_roundtrip_and_dispatch() {
+        let t = run(r#"
+            class Box { Object f; void set(Object v) { this.f = v; } Object get() { return this.f; } }
+            class Main {
+                static void main() {
+                    Box b = new Box();
+                    Object o = new Object();
+                    b.set(o);
+                    Object got = b.get();
+                }
+            }
+        "#);
+        assert_eq!(t.null_derefs, 0);
+        assert_eq!(t.call_edges.len(), 2);
+    }
+
+    #[test]
+    fn failing_cast_continues_with_null() {
+        let t = run(r#"
+            class A { }
+            class B { void m() { } }
+            class Main {
+                static void main() {
+                    Object o = new A();
+                    B b = (B) o;
+                    if (b == null) { } else { b.m(); }
+                }
+            }
+        "#);
+        assert_eq!(t.failed_casts, 1);
+        // B.m never runs because the cast yielded null.
+        assert_eq!(t.call_edges.len(), 0);
+    }
+
+    #[test]
+    fn early_return_from_loop() {
+        let t = run(r#"
+            class Main {
+                static int find() {
+                    int i = 0;
+                    while (i < 100) {
+                        if (i == 3) { return i; }
+                        i = i + 1;
+                    }
+                    return 0;
+                }
+                static void main() { int x = Main.find(); }
+            }
+        "#);
+        assert!(t.steps < 100, "early return must exit the loop");
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let program = csc_frontend::compile(r#"
+            class Main {
+                static void main() {
+                    int i = 0;
+                    while (0 <= i) { i = 1; }
+                }
+            }
+        "#).unwrap();
+        let err = execute(
+            &program,
+            InterpConfig {
+                max_steps: 1000,
+                max_call_depth: 16,
+            },
+        )
+        .unwrap_err();
+        assert!(err.partial.steps >= 1000);
+    }
+
+    #[test]
+    fn null_deref_is_lenient() {
+        let t = run(r#"
+            class Box { Object f; }
+            class Main {
+                static void main() {
+                    Box b = null;
+                    Object x = b.f;
+                    b.f = x;
+                }
+            }
+        "#);
+        assert_eq!(t.null_derefs, 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Runtime values and the concrete heap.
+
+use std::collections::HashMap;
+
+use csc_ir::{ClassId, FieldId, ObjId};
+
+/// A runtime value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// `null` (also the value of uninitialized reference slots).
+    Null,
+    /// Reference to a heap object (index into the heap).
+    Ref(u32),
+}
+
+impl Value {
+    /// Integer view (0 for non-integers; the workload language is typed, so
+    /// this only happens for uninitialized slots).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            _ => 0,
+        }
+    }
+
+    /// Boolean view (`false` for non-booleans).
+    pub fn as_bool(self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+}
+
+/// A concrete heap object.
+#[derive(Clone, Debug)]
+pub struct HeapObj {
+    /// Dynamic class.
+    pub class: ClassId,
+    /// The allocation site that created it.
+    pub site: ObjId,
+    /// Field store (uninitialized fields read as the type's default).
+    pub fields: HashMap<FieldId, Value>,
+}
+
+/// The heap: an arena of objects. Exposed so that clients embedding the
+/// interpreter can inspect final heap states.
+#[derive(Default, Debug)]
+pub struct Heap {
+    objs: Vec<HeapObj>,
+}
+
+impl Heap {
+    /// Allocates a fresh object of `class` from allocation site `site`.
+    pub fn alloc(&mut self, class: ClassId, site: ObjId) -> u32 {
+        let id = u32::try_from(self.objs.len()).expect("heap exhausted");
+        self.objs.push(HeapObj {
+            class,
+            site,
+            fields: HashMap::new(),
+        });
+        id
+    }
+
+    /// Immutable object access.
+    pub fn get(&self, r: u32) -> &HeapObj {
+        &self.objs[r as usize]
+    }
+
+    /// Mutable object access.
+    pub fn get_mut(&mut self, r: u32) -> &mut HeapObj {
+        &mut self.objs[r as usize]
+    }
+
+    /// Number of live (all) objects.
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Whether no object was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_fields() {
+        let mut h = Heap::default();
+        let r = h.alloc(ClassId::new(0), ObjId::new(3));
+        assert_eq!(h.get(r).site, ObjId::new(3));
+        h.get_mut(r).fields.insert(FieldId::new(1), Value::Int(7));
+        assert_eq!(h.get(r).fields[&FieldId::new(1)], Value::Int(7));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn value_views() {
+        assert_eq!(Value::Int(5).as_int(), 5);
+        assert_eq!(Value::Null.as_int(), 0);
+        assert!(Value::Bool(true).as_bool());
+        assert!(!Value::Null.as_bool());
+    }
+}

@@ -1,0 +1,117 @@
+//! The recall (soundness) check of §5.1: every dynamically reached method
+//! and executed call edge must be present in a sound static result.
+
+use std::collections::HashSet;
+
+use csc_ir::{CallSiteId, MethodId};
+
+use crate::eval::Trace;
+
+/// Outcome of comparing a dynamic trace against one static analysis result.
+#[derive(Clone, Debug)]
+pub struct RecallReport {
+    /// Dynamically reached methods.
+    pub dynamic_methods: usize,
+    /// Dynamically executed call edges.
+    pub dynamic_edges: usize,
+    /// Dynamic methods the static analysis missed (must be empty for a
+    /// sound analysis).
+    pub missed_methods: Vec<MethodId>,
+    /// Dynamic call edges the static analysis missed.
+    pub missed_edges: Vec<(CallSiteId, MethodId)>,
+}
+
+impl RecallReport {
+    /// 100% recall: nothing dynamic was missed.
+    pub fn full_recall(&self) -> bool {
+        self.missed_methods.is_empty() && self.missed_edges.is_empty()
+    }
+
+    /// Recalled-method ratio in percent.
+    pub fn method_recall_pct(&self) -> f64 {
+        if self.dynamic_methods == 0 {
+            100.0
+        } else {
+            100.0 * (self.dynamic_methods - self.missed_methods.len()) as f64
+                / self.dynamic_methods as f64
+        }
+    }
+
+    /// Recalled-edge ratio in percent.
+    pub fn edge_recall_pct(&self) -> f64 {
+        if self.dynamic_edges == 0 {
+            100.0
+        } else {
+            100.0 * (self.dynamic_edges - self.missed_edges.len()) as f64
+                / self.dynamic_edges as f64
+        }
+    }
+}
+
+/// Compares a dynamic trace against a static reachable-method set and call
+/// graph (both context-insensitively projected).
+pub fn check_recall(
+    trace: &Trace,
+    static_methods: &HashSet<MethodId>,
+    static_edges: &HashSet<(CallSiteId, MethodId)>,
+) -> RecallReport {
+    let mut missed_methods: Vec<MethodId> = trace
+        .reached_methods
+        .iter()
+        .copied()
+        .filter(|m| !static_methods.contains(m))
+        .collect();
+    missed_methods.sort_unstable();
+    let mut missed_edges: Vec<(CallSiteId, MethodId)> = trace
+        .call_edges
+        .iter()
+        .copied()
+        .filter(|e| !static_edges.contains(e))
+        .collect();
+    missed_edges.sort_unstable();
+    RecallReport {
+        dynamic_methods: trace.reached_methods.len(),
+        dynamic_edges: trace.call_edges.len(),
+        missed_methods,
+        missed_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{execute, InterpConfig};
+
+    #[test]
+    fn full_recall_against_matching_sets() {
+        let program = csc_frontend::compile(
+            r#"
+            class A { void m() { } }
+            class Main { static void main() { A a = new A(); a.m(); } }
+            "#,
+        )
+        .unwrap();
+        let trace = execute(&program, InterpConfig::default()).unwrap();
+        let methods = trace.reached_methods.clone();
+        let edges = trace.call_edges.clone();
+        let report = check_recall(&trace, &methods, &edges);
+        assert!(report.full_recall());
+        assert_eq!(report.method_recall_pct(), 100.0);
+    }
+
+    #[test]
+    fn missing_method_detected() {
+        let program = csc_frontend::compile(
+            r#"
+            class A { void m() { } }
+            class Main { static void main() { A a = new A(); a.m(); } }
+            "#,
+        )
+        .unwrap();
+        let trace = execute(&program, InterpConfig::default()).unwrap();
+        let report = check_recall(&trace, &HashSet::new(), &HashSet::new());
+        assert!(!report.full_recall());
+        assert_eq!(report.missed_methods.len(), trace.reached_methods.len());
+        assert!(report.method_recall_pct() < 1.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Dynamic-semantics tests: the mini-JDK containers must behave correctly
+//! under concrete execution — the recall experiment's ground truth is only
+//! as good as the interpreter and the library it runs.
+
+use csc_interp::{execute, InterpConfig, Trace};
+
+fn run(main_body: &str) -> Trace {
+    let src = format!(
+        "{}\nclass Probe {{ int id; }}\nclass Mark0 {{ void hit0() {{ }} }}\nclass Mark1 {{ void hit1() {{ }} }}\nclass Mark2 {{ void hit2() {{ }} }}\nclass Main {{ static void main() {{\n{main_body}\n}} }}",
+        csc_workloads::MINI_JDK
+    );
+    let program = csc_frontend::compile(&src).expect("compiles");
+    execute(&program, InterpConfig::default()).expect("bounded")
+}
+
+fn reached(trace: &Trace, src: &str, qualified: &str) -> bool {
+    let program = csc_frontend::compile(src).unwrap();
+    let m = program.method_by_qualified_name(qualified);
+    match m {
+        Some(m) => trace.reached_methods.contains(&m),
+        None => false,
+    }
+}
+
+/// get(i) must return the i-th element in insertion order.
+#[test]
+fn arraylist_preserves_insertion_order() {
+    let body = r#"
+        ArrayList l = new ArrayList();
+        l.add(new Mark0());
+        l.add(new Mark1());
+        l.add(new Mark2());
+        Object a = l.get(0);
+        Object b = l.get(1);
+        Object c = l.get(2);
+        Mark0 m0 = (Mark0) a;
+        Mark1 m1 = (Mark1) b;
+        Mark2 m2 = (Mark2) c;
+        m0.hit0();
+        m1.hit1();
+        m2.hit2();
+        int n = l.size();
+    "#;
+    let t = run(body);
+    assert_eq!(t.failed_casts, 0, "order correct => casts succeed");
+    assert_eq!(t.null_derefs, 0);
+    assert_eq!(t.call_edges.iter().count() > 6, true);
+}
+
+/// The iterator must visit every element exactly once.
+#[test]
+fn iterator_visits_all_elements() {
+    let body = r#"
+        ArrayList l = new ArrayList();
+        int i = 0;
+        while (i < 5) {
+            l.add(new Probe());
+            i = i + 1;
+        }
+        Iterator it = l.iterator();
+        int seen = 0;
+        while (it.hasNext()) {
+            Object o = it.next();
+            seen = seen + 1;
+        }
+        if (seen == 5) { } else { Object crash = null; Object x = crash.toStringLike; }
+    "#;
+    // The `crash` line is a deliberate null dereference; reaching it means
+    // the iterator yielded the wrong number of elements.
+    let t = run(&body.replace("Object x = crash.toStringLike;", "Probe p = (Probe) crash; int z = p.id;"));
+    assert_eq!(t.null_derefs, 0, "iterator must yield exactly 5 elements");
+}
+
+/// removeFirst is FIFO for add(); addFirst prepends.
+#[test]
+fn linkedlist_add_first_and_remove_first() {
+    let body = r#"
+        LinkedList l = new LinkedList();
+        l.add(new Mark1());
+        l.addFirst(new Mark0());
+        Object first = l.removeFirst();
+        Mark0 m = (Mark0) first;
+        m.hit0();
+        Object second = l.removeFirst();
+        Mark1 m1 = (Mark1) second;
+        m1.hit1();
+        boolean e = l.isEmpty();
+    "#;
+    let t = run(body);
+    assert_eq!(t.failed_casts, 0);
+    assert_eq!(t.null_derefs, 0);
+}
+
+/// put/get key association; overwriting a key returns the old value.
+#[test]
+fn hashmap_put_get_overwrite() {
+    let body = r#"
+        HashMap m = new HashMap();
+        Probe k = new Probe();
+        Object old1 = m.put(k, new Mark0());
+        Object old2 = m.put(k, new Mark1());
+        Mark0 prev = (Mark0) old2;
+        prev.hit0();
+        Object got = m.get(k);
+        Mark1 cur = (Mark1) got;
+        cur.hit1();
+        int n = m.size();
+        Object miss = m.get(new Probe());
+        if (miss == null) { } else { Mark2 bad = (Mark2) miss; bad.hit2(); }
+    "#;
+    let t = run(body);
+    assert_eq!(t.failed_casts, 0, "old value / current value correct");
+    // The miss branch must not run.
+    let full_src = format!(
+        "{}\nclass Probe {{ int id; }}\nclass Mark0 {{ void hit0() {{ }} }}\nclass Mark1 {{ void hit1() {{ }} }}\nclass Mark2 {{ void hit2() {{ }} }}\nclass Main {{ static void main() {{\n{body}\n}} }}",
+        csc_workloads::MINI_JDK
+    );
+    assert!(!reached(&t, &full_src, "Mark2.hit2"));
+}
+
+/// remove() unlinks an entry; size shrinks; get() stops finding it.
+#[test]
+fn hashmap_remove_unlinks() {
+    let body = r#"
+        HashMap m = new HashMap();
+        Probe k1 = new Probe();
+        Probe k2 = new Probe();
+        m.put(k1, new Mark0());
+        m.put(k2, new Mark1());
+        Object removed = m.remove(k1);
+        Mark0 r = (Mark0) removed;
+        r.hit0();
+        Object gone = m.get(k1);
+        Object still = m.get(k2);
+        Mark1 s = (Mark1) still;
+        s.hit1();
+        int n = m.size();
+        if (gone == null) { } else { Mark2 bad = (Mark2) gone; bad.hit2(); }
+    "#;
+    let t = run(body);
+    assert_eq!(t.failed_casts, 0);
+    let full_src = format!(
+        "{}\nclass Probe {{ int id; }}\nclass Mark0 {{ void hit0() {{ }} }}\nclass Mark1 {{ void hit1() {{ }} }}\nclass Mark2 {{ void hit2() {{ }} }}\nclass Main {{ static void main() {{\n{body}\n}} }}",
+        csc_workloads::MINI_JDK
+    );
+    assert!(!reached(&t, &full_src, "Mark2.hit2"));
+}
+
+/// keySet / values views iterate the map's current entries.
+#[test]
+fn map_views_iterate_entries() {
+    let body = r#"
+        HashMap m = new HashMap();
+        m.put(new Mark0(), new Mark1());
+        KeySetView ks = m.keySet();
+        KeyIterator ki = ks.iterator();
+        while (ki.hasNext()) {
+            Object k = ki.next();
+            Mark0 mk = (Mark0) k;
+            mk.hit0();
+        }
+        ValuesView vs = m.values();
+        ValueIterator vi = vs.iterator();
+        while (vi.hasNext()) {
+            Object v = vi.next();
+            Mark1 mv = (Mark1) v;
+            mv.hit1();
+        }
+    "#;
+    let t = run(body);
+    assert_eq!(t.failed_casts, 0, "keys are Mark0s, values are Mark1s");
+}
+
+/// HashSet deduplicates by reference identity.
+#[test]
+fn hashset_dedups_by_identity() {
+    let body = r#"
+        HashSet s = new HashSet();
+        Probe p = new Probe();
+        s.add(p);
+        s.add(p);
+        s.add(new Probe());
+        int n = s.size();
+        if (n == 2) { } else { Probe crash = null; int z = crash.id; }
+    "#;
+    let t = run(body);
+    assert_eq!(t.null_derefs, 0, "size must be exactly 2");
+}

@@ -1,0 +1,278 @@
+//! Human-readable pretty printing of programs, used by tests, examples, and
+//! `csc-cli --dump-ir`.
+
+use std::fmt::Write as _;
+
+use crate::ids::{MethodId, VarId};
+use crate::program::{MethodKind, Program};
+use crate::stmt::{BinOp, CallKind, Stmt};
+use crate::ty::Type;
+
+impl Program {
+    /// Renders a type name.
+    pub fn type_name(&self, ty: Type) -> String {
+        match ty {
+            Type::Int => "int".to_owned(),
+            Type::Boolean => "boolean".to_owned(),
+            Type::Void => "void".to_owned(),
+            Type::Null => "null".to_owned(),
+            Type::Class(c) => self.class(c).name().to_owned(),
+        }
+    }
+
+    /// Renders a variable as `name` (`vN` for unnamed temporaries).
+    pub fn var_name(&self, v: VarId) -> String {
+        let info = self.var(v);
+        if info.name().is_empty() {
+            format!("{v}")
+        } else {
+            info.name().to_owned()
+        }
+    }
+
+    /// Pretty-prints one method (signature plus indented body).
+    pub fn display_method(&self, m: MethodId) -> String {
+        let method = self.method(m);
+        let mut out = String::new();
+        let kind = match method.kind() {
+            MethodKind::Static => "static ",
+            MethodKind::Constructor => "init ",
+            MethodKind::Instance => "",
+        };
+        let params: Vec<String> = method
+            .params()
+            .iter()
+            .map(|&p| {
+                format!(
+                    "{} {}",
+                    self.type_name(self.var(p).ty()),
+                    self.var_name(p)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{}{} {}.{}({}) {{",
+            kind,
+            self.type_name(method.ret_ty()),
+            self.class(method.class()).name(),
+            method.name(),
+            params.join(", ")
+        );
+        self.fmt_block(method.body(), 1, &mut out);
+        out.push_str("}\n");
+        out
+    }
+
+    fn fmt_block(&self, body: &[Stmt], depth: usize, out: &mut String) {
+        for s in body {
+            self.fmt_stmt(s, depth, out);
+        }
+    }
+
+    fn fmt_stmt(&self, s: &Stmt, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match s {
+            Stmt::New { lhs, obj } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = new {}(); // {}",
+                    self.var_name(*lhs),
+                    self.class(self.obj(*obj).class()).name(),
+                    obj
+                );
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let _ = writeln!(out, "{pad}{} = {};", self.var_name(*lhs), self.var_name(*rhs));
+            }
+            Stmt::Cast(id) => {
+                let c = self.cast(*id);
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = ({}) {};",
+                    self.var_name(c.lhs()),
+                    self.type_name(c.ty()),
+                    self.var_name(c.rhs())
+                );
+            }
+            Stmt::Load(id) => {
+                let l = self.load(*id);
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {}.{};",
+                    self.var_name(l.lhs()),
+                    self.var_name(l.base()),
+                    self.field(l.field()).name()
+                );
+            }
+            Stmt::Store(id) => {
+                let st = self.store(*id);
+                let _ = writeln!(
+                    out,
+                    "{pad}{}.{} = {};",
+                    self.var_name(st.base()),
+                    self.field(st.field()).name(),
+                    self.var_name(st.rhs())
+                );
+            }
+            Stmt::Call(id) => {
+                let cs = self.call_site(*id);
+                let args: Vec<String> = cs.args().iter().map(|&a| self.var_name(a)).collect();
+                let lhs = cs
+                    .lhs()
+                    .map(|l| format!("{} = ", self.var_name(l)))
+                    .unwrap_or_default();
+                let target = self.qualified_name(cs.target());
+                let kind = match cs.kind() {
+                    CallKind::Virtual => "",
+                    CallKind::Special => "/*special*/ ",
+                    CallKind::Static => "/*static*/ ",
+                };
+                match cs.recv() {
+                    Some(r) => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}{lhs}{kind}{}.{}({}); // -> {target} [{id}]",
+                            self.var_name(r),
+                            self.method(cs.target()).name(),
+                            args.join(", ")
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}{lhs}{kind}{target}({}); // [{id}]",
+                            args.join(", ")
+                        );
+                    }
+                }
+            }
+            Stmt::Return => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+            Stmt::ConstInt { lhs, value } => {
+                let _ = writeln!(out, "{pad}{} = {};", self.var_name(*lhs), value);
+            }
+            Stmt::ConstBool { lhs, value } => {
+                let _ = writeln!(out, "{pad}{} = {};", self.var_name(*lhs), value);
+            }
+            Stmt::ConstNull { lhs } => {
+                let _ = writeln!(out, "{pad}{} = null;", self.var_name(*lhs));
+            }
+            Stmt::BinOp { lhs, op, a, b } => {
+                let op_str = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Rem => "%",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::EqInt => "==",
+                    BinOp::NeInt => "!=",
+                    BinOp::EqRef => "==",
+                    BinOp::NeRef => "!=",
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {} {} {};",
+                    self.var_name(*lhs),
+                    self.var_name(*a),
+                    op_str,
+                    self.var_name(*b)
+                );
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", self.var_name(*cond));
+                self.fmt_block(then_branch, depth + 1, out);
+                if else_branch.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    self.fmt_block(else_branch, depth + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::While {
+                cond_stmts,
+                cond,
+                body,
+            } => {
+                let _ = writeln!(out, "{pad}while (/*cond:*/ {}) {{", self.var_name(*cond));
+                self.fmt_block(cond_stmts, depth + 1, out);
+                let _ = writeln!(out, "{pad}  /*body:*/");
+                self.fmt_block(body, depth + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+
+    /// Pretty-prints the whole program.
+    pub fn display_program(&self) -> String {
+        let mut out = String::new();
+        for (i, class) in self.classes.iter().enumerate() {
+            let sup = class
+                .superclass()
+                .map(|s| format!(" extends {}", self.class(s).name()))
+                .unwrap_or_default();
+            let _ = writeln!(out, "class {}{} {{", class.name(), sup);
+            for &f in class.fields() {
+                let fd = self.field(f);
+                let _ = writeln!(out, "  {} {};", self.type_name(fd.ty()), fd.name());
+            }
+            for &m in class.methods() {
+                if self.method(m).is_abstract() {
+                    let _ = writeln!(out, "  abstract {};", self.method(m).name());
+                } else {
+                    for line in self.display_method(m).lines() {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "}}");
+            if i + 1 < self.classes.len() {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::program::MethodKind;
+    use crate::ty::Type;
+
+    #[test]
+    fn display_contains_expected_fragments() {
+        let mut pb = ProgramBuilder::new();
+        let object = pb.object_class();
+        let carton = pb.add_class("Carton", None);
+        let item_f = pb.add_field(carton, "item", Type::Class(object));
+        let mut mb = pb.begin_method(
+            carton,
+            "setItem",
+            MethodKind::Instance,
+            &[("item", Type::Class(object))],
+            Type::Void,
+        );
+        let this = mb.this().unwrap();
+        let p0 = mb.param(0);
+        mb.store(this, item_f, p0);
+        mb.finish();
+        let main_class = pb.add_class("Main", None);
+        let main = pb
+            .begin_method(main_class, "main", MethodKind::Static, &[], Type::Void)
+            .finish();
+        pb.set_entry(main);
+        let p = pb.finish().unwrap();
+        let text = p.display_program();
+        assert!(text.contains("class Carton extends Object {"), "{text}");
+        assert!(text.contains("this.item = item;"), "{text}");
+        assert!(text.contains("void Carton.setItem(Object item)"), "{text}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Interned identifier newtypes used throughout the IR and the analyses.
+//!
+//! Every program entity (class, field, method, variable, allocation site,
+//! call site, load/store/cast site) is referred to by a small dense `u32`
+//! index into a table owned by [`crate::Program`]. Dense ids keep the
+//! analysis data structures flat and cache-friendly (points-to sets,
+//! per-variable edge lists, …) and make it trivial to use ids as `Vec`
+//! indices.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_usize(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index as `u32`.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A class declaration.
+    ClassId,
+    "class#"
+);
+define_id!(
+    /// An instance field declaration.
+    FieldId,
+    "field#"
+);
+define_id!(
+    /// A method declaration (static, instance, or constructor).
+    MethodId,
+    "method#"
+);
+define_id!(
+    /// A local variable (including parameters, `this`, and the synthetic
+    /// per-method return variable).
+    VarId,
+    "v"
+);
+define_id!(
+    /// An abstract heap object, i.e. an allocation site (`new T()`).
+    ObjId,
+    "o"
+);
+define_id!(
+    /// A method invocation site.
+    CallSiteId,
+    "cs"
+);
+define_id!(
+    /// An instance-field load site (`x = y.f`).
+    LoadId,
+    "ld"
+);
+define_id!(
+    /// An instance-field store site (`x.f = y`).
+    StoreId,
+    "st"
+);
+define_id!(
+    /// A reference cast site (`x = (T) y`).
+    CastId,
+    "cast"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = VarId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.raw(), 7);
+        assert_eq!(VarId::from_usize(7), v);
+        assert_eq!(usize::from(v), 7);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(VarId::new(3).to_string(), "v3");
+        assert_eq!(ObjId::new(0).to_string(), "o0");
+        assert_eq!(format!("{:?}", ClassId::new(1)), "class#1");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VarId::new(1) < VarId::new(2));
+    }
+}

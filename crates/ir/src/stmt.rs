@@ -1,0 +1,189 @@
+//! Statements of the IR.
+//!
+//! Pointer-relevant statements (allocation, copy, cast, field load/store,
+//! invocation) reference site tables in [`crate::Program`] by id, so that
+//! analyses can address them with dense indices. Control flow (`if`/`while`)
+//! is kept structured: the pointer analysis is flow-insensitive and simply
+//! walks the statement tree, while the concrete interpreter in `csc-interp`
+//! executes it.
+
+use crate::ids::{CallSiteId, CastId, LoadId, ObjId, StoreId, VarId};
+
+/// Integer / boolean binary operators (used only by the interpreter and
+/// by workload programs to build loop conditions; they have no effect on
+/// points-to information).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer remainder. Division by zero yields zero (the interpreter is
+    /// total by construction).
+    Rem,
+    /// Less-than comparison producing a boolean.
+    Lt,
+    /// Less-or-equal comparison producing a boolean.
+    Le,
+    /// Equality comparison over integers producing a boolean.
+    EqInt,
+    /// Inequality comparison over integers producing a boolean.
+    NeInt,
+    /// Reference identity (`a == b` over objects / `null`). No effect on
+    /// points-to information; the interpreter compares heap identities.
+    EqRef,
+    /// Reference non-identity.
+    NeRef,
+}
+
+impl BinOp {
+    /// Whether the operator produces a boolean (comparison) rather than an
+    /// integer.
+    #[inline]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::EqInt | BinOp::NeInt | BinOp::EqRef | BinOp::NeRef
+        )
+    }
+}
+
+/// How a call site binds its target method.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// Virtual dispatch on the runtime type of the receiver.
+    Virtual,
+    /// Exact invocation of the named method on `this`/a known receiver:
+    /// constructor calls (`<init>`) and `super` calls.
+    Special,
+    /// Static method invocation (no receiver).
+    Static,
+}
+
+/// A statement.
+#[allow(missing_docs)] // variant fields are named after the paper's formalism
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `lhs = new T()` — the allocation site `obj` carries the class.
+    /// Constructor invocation is a separate [`Stmt::Call`] emitted by the
+    /// frontend right after the allocation.
+    New { lhs: VarId, obj: ObjId },
+    /// `lhs = rhs` between reference variables.
+    Assign { lhs: VarId, rhs: VarId },
+    /// `lhs = (T) rhs`; the cast site table carries the target type.
+    Cast(CastId),
+    /// `lhs = base.f` (site table: [`crate::LoadSite`]).
+    Load(LoadId),
+    /// `base.f = rhs` (site table: [`crate::StoreSite`]).
+    Store(StoreId),
+    /// A method invocation (site table: [`crate::CallSite`]).
+    Call(CallSiteId),
+    /// Return from the enclosing method. The frontend lowers `return e;`
+    /// into an assignment to the method's synthetic return variable followed
+    /// by a bare `Return`, so analyses only ever deal with the return
+    /// variable.
+    Return,
+    /// `lhs = <integer literal>`.
+    ConstInt { lhs: VarId, value: i64 },
+    /// `lhs = <boolean literal>`.
+    ConstBool { lhs: VarId, value: bool },
+    /// `lhs = null`.
+    ConstNull { lhs: VarId },
+    /// `lhs = a <op> b` over primitives.
+    BinOp {
+        lhs: VarId,
+        op: BinOp,
+        a: VarId,
+        b: VarId,
+    },
+    /// Structured conditional. `cond` must hold a boolean.
+    If {
+        cond: VarId,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    /// Structured loop. Before every iteration check (including the first),
+    /// the interpreter executes `cond_stmts` and then tests `cond`.
+    While {
+        cond_stmts: Vec<Stmt>,
+        cond: VarId,
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Depth-first visit of this statement and all statements nested inside
+    /// `if`/`while` blocks.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch {
+                    s.visit(f);
+                }
+                for s in else_branch {
+                    s.visit(f);
+                }
+            }
+            Stmt::While {
+                cond_stmts, body, ..
+            } => {
+                for s in cond_stmts {
+                    s.visit(f);
+                }
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Visits every statement in a body, including nested ones.
+pub fn visit_all<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in body {
+        s.visit(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn comparison_ops() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn visit_recurses_into_blocks() {
+        let body = vec![
+            Stmt::ConstInt { lhs: v(0), value: 1 },
+            Stmt::If {
+                cond: v(1),
+                then_branch: vec![Stmt::Assign { lhs: v(2), rhs: v(3) }],
+                else_branch: vec![Stmt::While {
+                    cond_stmts: vec![Stmt::ConstBool { lhs: v(4), value: true }],
+                    cond: v(4),
+                    body: vec![Stmt::Return],
+                }],
+            },
+        ];
+        let mut n = 0;
+        visit_all(&body, &mut |_| n += 1);
+        // ConstInt, If, Assign, While, ConstBool, Return
+        assert_eq!(n, 6);
+    }
+}

@@ -1,0 +1,77 @@
+//! The (deliberately small) type system of the IR.
+//!
+//! Reference types are classes with single inheritance rooted at a
+//! distinguished `Object` class. There are three primitive types (`int`,
+//! `boolean`, `void`) and the `null` type, which is a subtype of every
+//! reference type. Arrays are not part of the language: the mini-JDK
+//! containers used by the workloads are implemented with linked nodes, which
+//! keeps both the analysis rules and the concrete interpreter exact (see
+//! DESIGN.md §2).
+
+use crate::ids::ClassId;
+
+/// A type in the IR.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit integer primitive.
+    Int,
+    /// Boolean primitive.
+    Boolean,
+    /// The `void` pseudo-type (method returns only).
+    Void,
+    /// The type of the `null` literal; subtype of every reference type.
+    Null,
+    /// A reference type, i.e. an instance of the given class.
+    Class(ClassId),
+}
+
+impl Type {
+    /// Returns `true` for types whose values are heap references
+    /// (classes and `null`).
+    #[inline]
+    pub fn is_reference(self) -> bool {
+        matches!(self, Type::Class(_) | Type::Null)
+    }
+
+    /// Returns the class id if this is a class type.
+    #[inline]
+    pub fn as_class(self) -> Option<ClassId> {
+        match self {
+            Type::Class(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClassId> for Type {
+    #[inline]
+    fn from(c: ClassId) -> Self {
+        Type::Class(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_classification() {
+        assert!(Type::Null.is_reference());
+        assert!(Type::Class(ClassId::new(0)).is_reference());
+        assert!(!Type::Int.is_reference());
+        assert!(!Type::Void.is_reference());
+        assert!(!Type::Boolean.is_reference());
+    }
+
+    #[test]
+    fn as_class() {
+        assert_eq!(Type::Class(ClassId::new(4)).as_class(), Some(ClassId::new(4)));
+        assert_eq!(Type::Int.as_class(), None);
+    }
+
+    #[test]
+    fn from_class_id() {
+        let t: Type = ClassId::new(2).into();
+        assert_eq!(t, Type::Class(ClassId::new(2)));
+    }
+}

@@ -1,0 +1,484 @@
+//! Seeded synthetic benchmark generator.
+//!
+//! Generates MiniJava programs that mix, at configurable scale, the
+//! imprecision-inducing idioms the paper targets:
+//!
+//! * *field scenarios* — shared entity classes whose setters/getters are
+//!   called with scenario-specific data types (the Figure 1 shape);
+//! * *wrapper scenarios* — values stored through nested constructor chains
+//!   (the Figure 3 shape, exercising `tempStores` propagation);
+//! * *container scenarios* — `ArrayList` / `LinkedList` / `HashMap` churn
+//!   with iterators and map views (the Figure 4 shape);
+//! * *select scenarios* — local-flow utility methods (the Figure 5 shape);
+//! * *chain scenarios* — deep static call chains whose merge points are
+//!   **not** covered by any Cut-Shortcut pattern, keeping the comparison
+//!   against conventional context sensitivity honest.
+//!
+//! Every scenario retrieves values back, casts them to the scenario's
+//! concrete data class (#fail-cast), and makes virtual `tag()` calls on
+//! them (#poly-call), so all four precision clients discriminate between
+//! analyses. Programs are fully executable: all loops are bounded, which is
+//! what the recall experiment needs.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::jdk::MINI_JDK;
+
+/// Scale knobs for one generated program.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed (the program text is a pure function of the config).
+    pub seed: u64,
+    /// Concrete data classes (cast targets / dispatch receivers).
+    pub data_classes: usize,
+    /// Entity classes (fields + setters/getters), shared across scenarios.
+    pub entities: usize,
+    /// Fields (with setter/getter/swap) per entity class.
+    pub fields_per_entity: usize,
+    /// Wrapper classes with nested constructor stores.
+    pub wrappers: usize,
+    /// Local-flow utility methods.
+    pub selects: usize,
+    /// Static call chains not covered by any pattern.
+    pub chains: usize,
+    /// Depth of each call chain.
+    pub chain_depth: usize,
+    /// Scenario methods per kind (field/wrapper/container/map/select/chain).
+    pub scenarios_per_kind: usize,
+    /// Loop iterations in container scenarios (interpreter workload).
+    pub loop_iters: usize,
+    /// Every `registry_every`-th scenario registers its primary object in a
+    /// global registry whose `crossTouch` loop makes all registered objects
+    /// interact pairwise. Under object sensitivity this multiplies contexts
+    /// quadratically in the number of registered objects — the realistic
+    /// cost mechanism that makes 2obj orders of magnitude slower than CI on
+    /// large programs (and eventually exceed the budget, like the paper's
+    /// ">2h" entries). `0` disables the registry.
+    pub registry_every: usize,
+    /// Probability that a scenario obtains its primary object from the
+    /// static `Factory` instead of a local `new`. Factory allocations all
+    /// live in one class, which is precisely what separates 2type (merges
+    /// them) from 2obj (distinguishes the receiver objects).
+    pub factory_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 42,
+            data_classes: 8,
+            entities: 4,
+            fields_per_entity: 3,
+            wrappers: 4,
+            selects: 4,
+            chains: 2,
+            chain_depth: 4,
+            scenarios_per_kind: 4,
+            loop_iters: 3,
+            registry_every: 3,
+            factory_prob: 0.5,
+        }
+    }
+}
+
+/// Generates the MiniJava source of one benchmark program.
+pub fn generate(cfg: &GenConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str(MINI_JDK);
+
+    write_data_classes(&mut out, cfg, &mut rng);
+    write_entities(&mut out, cfg, &mut rng);
+    write_wrappers(&mut out, cfg, &mut rng);
+    write_factory_and_registry(&mut out, cfg);
+    write_util(&mut out, cfg, &mut rng);
+    write_main(&mut out, cfg, &mut rng);
+    out
+}
+
+fn write_data_classes(out: &mut String, cfg: &GenConfig, rng: &mut StdRng) {
+    out.push_str(
+        "\nabstract class Data {\n    abstract int tag();\n    Data identity() { return this; }\n    void touch(Data other) {\n        Data x = other.identity();\n        int t = x.tag();\n    }\n}\n",
+    );
+    for i in 0..cfg.data_classes {
+        // Shallow hierarchy: roughly half extend an earlier data class.
+        let parent = if i > 0 && rng.gen_bool(0.5) {
+            format!("D{}", rng.gen_range(0..i))
+        } else {
+            "Data".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "class D{i} extends {parent} {{\n    int tag() {{ return {i}; }}\n}}"
+        );
+    }
+}
+
+fn write_entities(out: &mut String, cfg: &GenConfig, rng: &mut StdRng) {
+    for e in 0..cfg.entities {
+        // A third of the entities extend an earlier entity.
+        let parent = if e > 0 && rng.gen_bool(0.33) {
+            format!(" extends E{}", rng.gen_range(0..e))
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "class E{e}{parent} {{");
+        for f in 0..cfg.fields_per_entity {
+            let _ = writeln!(out, "    Data e{e}f{f};");
+            let _ = writeln!(
+                out,
+                "    void setF{e}_{f}(Data v) {{ this.e{e}f{f} = v; }}"
+            );
+            let _ = writeln!(
+                out,
+                "    Data getF{e}_{f}() {{ Data r; r = this.e{e}f{f}; return r; }}"
+            );
+            if rng.gen_bool(0.5) {
+                // swap: exercises both halves of the field pattern at once.
+                let _ = writeln!(
+                    out,
+                    "    Data swapF{e}_{f}(Data v) {{ Data old; old = this.e{e}f{f}; this.e{e}f{f} = v; return old; }}"
+                );
+            }
+        }
+        // An impure accessor: the return mixes a field load with a
+        // parameter, so the load cut must rely on [RelayEdge].
+        let _ = writeln!(
+            out,
+            "    Data firstOr{e}(Data dflt) {{ Data r; r = this.e{e}f0; if (r == null) {{ r = dflt; }} return r; }}"
+        );
+        // A mixer that no Cut-Shortcut pattern covers (multiple returns,
+        // load into a non-return local): object sensitivity separates its
+        // callers by receiver, Cut-Shortcut cannot — keeps 2obj's
+        // precision advantage honest (§5.2).
+        let _ = writeln!(
+            out,
+            "    Data mix{e}(Data v) {{ Data c; c = this.e{e}f0; if (c == v) {{ return c; }} return v; }}"
+        );
+        out.push_str("}\n");
+    }
+}
+
+fn write_wrappers(out: &mut String, cfg: &GenConfig, rng: &mut StdRng) {
+    for w in 0..cfg.wrappers {
+        let deep = rng.gen_bool(0.5);
+        let _ = writeln!(out, "class W{w} {{");
+        let _ = writeln!(out, "    Data val;");
+        if deep {
+            // Two-level nesting: ctor -> init -> setRaw (Figure 3 shape).
+            let _ = writeln!(out, "    W{w}(Data v) {{ this.init(v); }}");
+            let _ = writeln!(out, "    void init(Data v) {{ this.setRaw(v); }}");
+            let _ = writeln!(out, "    void setRaw(Data v) {{ this.val = v; }}");
+        } else {
+            let _ = writeln!(out, "    W{w}(Data v) {{ this.val = v; }}");
+        }
+        let _ = writeln!(out, "    Data unwrap() {{ Data r; r = this.val; return r; }}");
+        out.push_str("}\n");
+    }
+}
+
+fn write_factory_and_registry(out: &mut String, cfg: &GenConfig) {
+    out.push_str("class Factory {\n");
+    for d in 0..cfg.data_classes {
+        let _ = writeln!(
+            out,
+            "    static Data makeD{d}() {{ return new D{d}(); }}"
+        );
+    }
+    out.push_str("}\n");
+    if cfg.registry_every > 0 {
+        out.push_str(
+            r#"class Registry {
+    ArrayList items;
+    Registry() { this.items = new ArrayList(); }
+    void register(Data d) { ArrayList l = this.items; l.add(d); }
+    void crossTouch() {
+        ArrayList l = this.items;
+        Iterator it = l.iterator();
+        while (it.hasNext()) {
+            Object ao = it.next();
+            Data a = (Data) ao;
+            Iterator jt = l.iterator();
+            while (jt.hasNext()) {
+                Object bo = jt.next();
+                Data b = (Data) bo;
+                a.touch(b);
+            }
+        }
+    }
+}
+"#,
+        );
+    }
+}
+
+fn write_util(out: &mut String, cfg: &GenConfig, _rng: &mut StdRng) {
+    out.push_str("class Util {\n");
+    for s in 0..cfg.selects {
+        let three = three_arg_select(cfg, s);
+        if three {
+            let _ = writeln!(
+                out,
+                "    static Data select{s}(Data a, Data b, Data c) {{ Data r; if (a == b) {{ r = a; }} else {{ if (b == c) {{ r = b; }} else {{ r = c; }} }} return r; }}"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "    static Data select{s}(Data a, Data b) {{ Data r; if (a == b) {{ r = a; }} else {{ r = b; }} return r; }}"
+            );
+        }
+    }
+    for c in 0..cfg.chains {
+        // chain{c}_0 -> chain{c}_1 -> ... -> identity. Each hop's return is
+        // a call result, which no Cut-Shortcut pattern covers — the paper's
+        // approach deliberately leaves these to plain CI propagation.
+        for d in 0..cfg.chain_depth {
+            if d + 1 < cfg.chain_depth {
+                let _ = writeln!(
+                    out,
+                    "    static Data chain{c}_{d}(Data v) {{ Data r = Util.chain{c}_{}(v); return r; }}",
+                    d + 1
+                );
+            } else {
+                let _ = writeln!(out, "    static Data chain{c}_{d}(Data v) {{ return v; }}");
+            }
+        }
+    }
+    out.push_str("}\n");
+}
+
+struct ScenarioCtx {
+    casts: usize,
+    id: usize,
+}
+
+/// Emits the scenario's primary object: a local `new` or a `Factory` call,
+/// typed `Data` either way.
+fn emit_primary(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, var: &str, d: usize) {
+    if rng.gen_bool(cfg.factory_prob) {
+        let _ = writeln!(out, "        Data {var} = Factory.makeD{d}();");
+    } else {
+        let _ = writeln!(out, "        Data {var} = new D{d}();");
+    }
+}
+
+/// Each scenario becomes its own `Scene{i}` class with an instance `run()`
+/// method, instantiated once from `main`. Putting allocation sites and
+/// calls inside per-scenario classes keeps the workload instance-heavy,
+/// like the paper's subjects: object/type sensitivity then has receiver
+/// objects and allocating classes to distinguish contexts by.
+fn write_main(out: &mut String, cfg: &GenConfig, rng: &mut StdRng) {
+    let mut scene_ids: Vec<usize> = Vec::new();
+    let mut ctx = ScenarioCtx { casts: 0, id: 0 };
+    for k in 0..cfg.scenarios_per_kind {
+        for kind in 0..6 {
+            let id = ctx.id;
+            let _ = writeln!(out, "// scenario {id}: {}", kind_name(kind));
+            let _ = writeln!(out, "class Scene{id} {{");
+            out.push_str("    Data run() {\n");
+            let result = match kind {
+                0 => field_scenario(out, cfg, rng, &mut ctx),
+                1 => wrapper_scenario(out, cfg, rng, &mut ctx),
+                2 => list_scenario(out, cfg, rng, &mut ctx),
+                3 => map_scenario(out, cfg, rng, &mut ctx),
+                4 => select_scenario(out, cfg, rng, &mut ctx),
+                5 => chain_scenario(out, cfg, rng, &mut ctx),
+                _ => unreachable!(),
+            };
+            let _ = writeln!(out, "        return {result};");
+            out.push_str("    }\n}\n");
+            scene_ids.push(id);
+            ctx.id += 1;
+        }
+        let _ = k;
+    }
+    out.push_str("class Main {\n    static void main() {\n");
+    if cfg.registry_every > 0 {
+        out.push_str("        Registry reg = new Registry();\n");
+    }
+    for id in &scene_ids {
+        let _ = writeln!(out, "        Scene{id} s{id} = new Scene{id}();");
+        let _ = writeln!(out, "        Data r{id} = s{id}.run();");
+        if cfg.registry_every > 0 && id % cfg.registry_every == 0 {
+            let _ = writeln!(out, "        reg.register(r{id});");
+        }
+    }
+    if cfg.registry_every > 0 {
+        out.push_str("        reg.crossTouch();\n");
+    }
+    out.push_str("    }\n}\n");
+}
+
+fn kind_name(kind: usize) -> &'static str {
+    match kind {
+        0 => "fields",
+        1 => "wrap",
+        2 => "list",
+        3 => "map",
+        4 => "select",
+        5 => "chain",
+        _ => unreachable!(),
+    }
+}
+
+/// Picks the scenario's data class and a *different* sibling class for a
+/// genuinely failing cast.
+fn pick_data(cfg: &GenConfig, rng: &mut StdRng) -> (usize, usize) {
+    let d = rng.gen_range(0..cfg.data_classes);
+    let other = (d + 1 + rng.gen_range(0..cfg.data_classes.saturating_sub(1).max(1)))
+        % cfg.data_classes;
+    (d, other)
+}
+
+fn field_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+    let e = rng.gen_range(0..cfg.entities);
+    let f = rng.gen_range(0..cfg.fields_per_entity);
+    let (d, _) = pick_data(cfg, rng);
+    let _ = writeln!(out, "        E{e} ent = new E{e}();");
+    emit_primary(out, cfg, rng, "v", d);
+    let _ = writeln!(out, "        ent.setF{e}_{f}(v);");
+    let _ = writeln!(out, "        Data got = ent.getF{e}_{f}();");
+    let _ = writeln!(out, "        D{d} cast = (D{d}) got;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "        int t = got.tag();");
+    let _ = writeln!(out, "        Data other = ent.firstOr{e}(v);");
+    let _ = writeln!(out, "        int t2 = other.tag();");
+    let _ = writeln!(out, "        Data mixed = ent.mix{e}(v);");
+    let _ = writeln!(out, "        D{d} mcast = (D{d}) mixed;");
+    ctx.casts += 1;
+    "v"
+}
+
+fn wrapper_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+    let w = rng.gen_range(0..cfg.wrappers.max(1));
+    let (d, _) = pick_data(cfg, rng);
+    emit_primary(out, cfg, rng, "v", d);
+    let _ = writeln!(out, "        W{w} box = new W{w}(v);");
+    let _ = writeln!(out, "        Data got = box.unwrap();");
+    let _ = writeln!(out, "        D{d} cast = (D{d}) got;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "        int t = got.tag();");
+    "got"
+}
+
+fn list_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+    let (d, other) = pick_data(cfg, rng);
+    let linked = rng.gen_bool(0.3);
+    let class = if linked { "LinkedList" } else { "ArrayList" };
+    let mixed = rng.gen_bool(0.25);
+    let _ = writeln!(out, "        {class} l = new {class}();");
+    let _ = writeln!(out, "        int i = 0;");
+    let _ = writeln!(out, "        while (i < {}) {{", cfg.loop_iters);
+    let _ = writeln!(out, "            l.add(new D{d}());");
+    let _ = writeln!(out, "            i = i + 1;");
+    let _ = writeln!(out, "        }}");
+    if mixed {
+        // A genuinely heterogeneous list: the cast below truly may fail,
+        // for every analysis (keeps some true positives in #fail-cast).
+        let _ = writeln!(out, "        l.add(new D{other}());");
+    }
+    let _ = writeln!(out, "        Object first = l.get(0);");
+    let _ = writeln!(out, "        D{d} cast = (D{d}) first;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "        Iterator it = l.iterator();");
+    let _ = writeln!(out, "        while (it.hasNext()) {{");
+    let _ = writeln!(out, "            Object o = it.next();");
+    let _ = writeln!(out, "            Data dd = (Data) o;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "            int t = dd.tag();");
+    let _ = writeln!(out, "        }}");
+    "cast"
+}
+
+fn map_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+    let (d, other) = pick_data(cfg, rng);
+    let _ = writeln!(out, "        HashMap m = new HashMap();");
+    let _ = writeln!(out, "        D{d} key = new D{d}();");
+    let _ = writeln!(out, "        D{other} val = new D{other}();");
+    let _ = writeln!(out, "        Object prev = m.put(key, val);");
+    let _ = writeln!(out, "        Object got = m.get(key);");
+    let _ = writeln!(out, "        D{other} cast = (D{other}) got;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "        KeySetView ks = m.keySet();");
+    let _ = writeln!(out, "        KeyIterator ki = ks.iterator();");
+    let _ = writeln!(out, "        while (ki.hasNext()) {{");
+    let _ = writeln!(out, "            Object k = ki.next();");
+    let _ = writeln!(out, "            D{d} kc = (D{d}) k;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "            int t = kc.tag();");
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "        ValuesView vs = m.values();");
+    let _ = writeln!(out, "        ValueIterator vi = vs.iterator();");
+    let _ = writeln!(out, "        while (vi.hasNext()) {{");
+    let _ = writeln!(out, "            Object v = vi.next();");
+    let _ = writeln!(out, "            int t2 = ((Data) v).tag();");
+    ctx.casts += 1;
+    let _ = writeln!(out, "        }}");
+    "cast"
+}
+
+fn select_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+    let s = rng.gen_range(0..cfg.selects.max(1));
+    let three = three_arg_select(cfg, s);
+    let (d, other) = pick_data(cfg, rng);
+    emit_primary(out, cfg, rng, "a", d);
+    let _ = writeln!(out, "        Data b = new D{d}();");
+    if three {
+        let _ = writeln!(out, "        Data c = new D{other}();");
+        let _ = writeln!(out, "        Data r = Util.select{s}(a, b, c);");
+    } else {
+        let _ = writeln!(out, "        Data r = Util.select{s}(a, b);");
+    }
+    let _ = writeln!(out, "        D{d} cast = (D{d}) r;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "        int t = r.tag();");
+    "cast"
+}
+
+/// Whether `Util.select{s}` has three parameters. The arity is a pure
+/// function of the index so that scenario generation and `write_util`
+/// agree without sharing RNG state.
+fn three_arg_select(_cfg: &GenConfig, s: usize) -> bool {
+    s % 3 == 1
+}
+
+fn chain_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+    let c = rng.gen_range(0..cfg.chains.max(1));
+    let (d, _) = pick_data(cfg, rng);
+    emit_primary(out, cfg, rng, "v", d);
+    let _ = writeln!(out, "        Data r = Util.chain{c}_0(v);");
+    let _ = writeln!(out, "        D{d} cast = (D{d}) r;");
+    ctx.casts += 1;
+    let _ = writeln!(out, "        Data s = v.identity();");
+    let _ = writeln!(out, "        int t = s.tag();");
+    "cast"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_program_compiles() {
+        let src = generate(&GenConfig::default());
+        let program = csc_frontend::compile(&src)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n"));
+        assert!(program.methods().len() > 50);
+        assert!(!program.casts().is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GenConfig::default());
+        let b = generate(&GenConfig::default());
+        assert_eq!(a, b);
+        let c = generate(&GenConfig {
+            seed: 7,
+            ..GenConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+}

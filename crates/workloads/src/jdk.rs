@@ -1,0 +1,375 @@
+//! The mini-JDK: container library written in MiniJava.
+//!
+//! Substitutes for the JDK container classes the paper's evaluation analyzes
+//! (DESIGN.md §2). The implementations deliberately route elements through
+//! internal linked nodes, so a context-insensitive analysis merges the
+//! elements of *all* containers inside `Node.item` / `MapEntry.{key,value}`
+//! — exactly the imprecision the container access pattern (§3.3) exists to
+//! fix. Note that the internal stores/loads do **not** match the field
+//! access pattern (their bases are locals, not parameters), so the container
+//! pattern is genuinely load-bearing here.
+//!
+//! The API roles (`Entrances`/`Exits`/`Transfers`) for these classes are
+//! declared in `csc_core::csc::ContainerSpec::mini_jdk()`.
+
+/// MiniJava source of the container library. Prepend to workload programs.
+pub const MINI_JDK: &str = r#"
+// ---- mini-JDK containers ------------------------------------------------
+
+class Node {
+    Object item;
+    Node next;
+}
+
+class Iterator {
+    Node cur;
+    boolean hasNext() {
+        boolean r = this.cur != null;
+        return r;
+    }
+    Object next() {
+        Node n = this.cur;
+        this.cur = n.next;
+        return n.item;
+    }
+}
+
+abstract class Collection {
+    abstract void add(Object e);
+    abstract Iterator iterator();
+    abstract int size();
+    boolean isEmpty() {
+        boolean r = this.size() == 0;
+        return r;
+    }
+}
+
+abstract class List extends Collection {
+    abstract Object get(int i);
+    abstract Object set(int i, Object e);
+    abstract void addFirst(Object e);
+    abstract Object removeFirst();
+}
+
+class ArrayList extends List {
+    Node head;
+    Node tail;
+    int count;
+    void add(Object e) {
+        Node n = new Node();
+        n.item = e;
+        Node t = this.tail;
+        if (t == null) {
+            this.head = n;
+        } else {
+            t.next = n;
+        }
+        this.tail = n;
+        this.count = this.count + 1;
+    }
+    void addFirst(Object e) {
+        Node n = new Node();
+        n.item = e;
+        n.next = this.head;
+        this.head = n;
+        if (this.tail == null) {
+            this.tail = n;
+        }
+        this.count = this.count + 1;
+    }
+    Object get(int i) {
+        Node n = this.head;
+        int j = 0;
+        while (j < i) {
+            n = n.next;
+            j = j + 1;
+        }
+        return n.item;
+    }
+    Object set(int i, Object e) {
+        Node n = this.head;
+        int j = 0;
+        while (j < i) {
+            n = n.next;
+            j = j + 1;
+        }
+        Object old = n.item;
+        n.item = e;
+        return old;
+    }
+    Object removeFirst() {
+        Node n = this.head;
+        this.head = n.next;
+        if (this.head == null) {
+            this.tail = null;
+        }
+        this.count = this.count - 1;
+        return n.item;
+    }
+    Iterator iterator() {
+        Iterator it = new Iterator();
+        it.cur = this.head;
+        return it;
+    }
+    int size() {
+        return this.count;
+    }
+}
+
+class LinkedList extends List {
+    Node first;
+    Node last;
+    int count;
+    void add(Object e) {
+        Node n = new Node();
+        n.item = e;
+        Node l = this.last;
+        if (l == null) {
+            this.first = n;
+        } else {
+            l.next = n;
+        }
+        this.last = n;
+        this.count = this.count + 1;
+    }
+    void addFirst(Object e) {
+        Node n = new Node();
+        n.item = e;
+        n.next = this.first;
+        this.first = n;
+        if (this.last == null) {
+            this.last = n;
+        }
+        this.count = this.count + 1;
+    }
+    Object get(int i) {
+        Node n = this.first;
+        int j = 0;
+        while (j < i) {
+            n = n.next;
+            j = j + 1;
+        }
+        return n.item;
+    }
+    Object set(int i, Object e) {
+        Node n = this.first;
+        int j = 0;
+        while (j < i) {
+            n = n.next;
+            j = j + 1;
+        }
+        Object old = n.item;
+        n.item = e;
+        return old;
+    }
+    Object removeFirst() {
+        Node n = this.first;
+        this.first = n.next;
+        if (this.first == null) {
+            this.last = null;
+        }
+        this.count = this.count - 1;
+        return n.item;
+    }
+    Iterator iterator() {
+        Iterator it = new Iterator();
+        it.cur = this.first;
+        return it;
+    }
+    int size() {
+        return this.count;
+    }
+}
+
+class HashSet extends Collection {
+    Node head;
+    int count;
+    boolean contains(Object e) {
+        Node n = this.head;
+        while (n != null) {
+            Object it = n.item;
+            if (it == e) {
+                return true;
+            }
+            n = n.next;
+        }
+        return false;
+    }
+    void add(Object e) {
+        boolean c = this.contains(e);
+        if (c) {
+        } else {
+            Node n = new Node();
+            n.item = e;
+            n.next = this.head;
+            this.head = n;
+            this.count = this.count + 1;
+        }
+    }
+    Iterator iterator() {
+        Iterator it = new Iterator();
+        it.cur = this.head;
+        return it;
+    }
+    int size() {
+        return this.count;
+    }
+}
+
+// ---- maps -----------------------------------------------------------------
+
+class MapEntry {
+    Object key;
+    Object value;
+    MapEntry next;
+}
+
+class KeyIterator {
+    MapEntry cur;
+    boolean hasNext() {
+        boolean r = this.cur != null;
+        return r;
+    }
+    Object next() {
+        MapEntry e = this.cur;
+        this.cur = e.next;
+        return e.key;
+    }
+}
+
+class ValueIterator {
+    MapEntry cur;
+    boolean hasNext() {
+        boolean r = this.cur != null;
+        return r;
+    }
+    Object next() {
+        MapEntry e = this.cur;
+        this.cur = e.next;
+        return e.value;
+    }
+}
+
+class KeySetView {
+    HashMap map;
+    KeyIterator iterator() {
+        HashMap m = this.map;
+        KeyIterator it = new KeyIterator();
+        it.cur = m.head;
+        return it;
+    }
+    int size() {
+        HashMap m = this.map;
+        int r = m.size();
+        return r;
+    }
+}
+
+class ValuesView {
+    HashMap map;
+    ValueIterator iterator() {
+        HashMap m = this.map;
+        ValueIterator it = new ValueIterator();
+        it.cur = m.head;
+        return it;
+    }
+    int size() {
+        HashMap m = this.map;
+        int r = m.size();
+        return r;
+    }
+}
+
+abstract class Map {
+    abstract Object put(Object k, Object v);
+    abstract Object get(Object k);
+    abstract Object remove(Object k);
+    abstract KeySetView keySet();
+    abstract ValuesView values();
+    abstract int size();
+}
+
+class HashMap extends Map {
+    MapEntry head;
+    int count;
+    Object put(Object k, Object v) {
+        MapEntry e = this.head;
+        while (e != null) {
+            Object ek = e.key;
+            if (ek == k) {
+                Object old = e.value;
+                e.value = v;
+                return old;
+            }
+            e = e.next;
+        }
+        MapEntry ne = new MapEntry();
+        ne.key = k;
+        ne.value = v;
+        ne.next = this.head;
+        this.head = ne;
+        this.count = this.count + 1;
+        return null;
+    }
+    Object get(Object k) {
+        MapEntry e = this.head;
+        while (e != null) {
+            Object ek = e.key;
+            if (ek == k) {
+                return e.value;
+            }
+            e = e.next;
+        }
+        return null;
+    }
+    Object remove(Object k) {
+        MapEntry e = this.head;
+        MapEntry prev = null;
+        while (e != null) {
+            Object ek = e.key;
+            if (ek == k) {
+                Object old = e.value;
+                if (prev == null) {
+                    this.head = e.next;
+                } else {
+                    prev.next = e.next;
+                }
+                this.count = this.count - 1;
+                return old;
+            }
+            prev = e;
+            e = e.next;
+        }
+        return null;
+    }
+    KeySetView keySet() {
+        KeySetView v = new KeySetView();
+        v.map = this;
+        return v;
+    }
+    ValuesView values() {
+        ValuesView v = new ValuesView();
+        v.map = this;
+        return v;
+    }
+    int size() {
+        return this.count;
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_jdk_compiles() {
+        let src = format!(
+            "{MINI_JDK}\nclass Main {{ static void main() {{ ArrayList l = new ArrayList(); l.add(new Object()); Object x = l.get(0); }} }}"
+        );
+        let program = csc_frontend::compile(&src).expect("mini-JDK compiles");
+        assert!(program.class_by_name("ArrayList").is_some());
+        assert!(program.class_by_name("HashMap").is_some());
+        assert!(program.class_by_name("KeyIterator").is_some());
+    }
+}

@@ -1,0 +1,139 @@
+//! The evaluation suite: ten benchmark programs named after the paper's
+//! subjects (§5, Tables 1–3), generated at per-program scales.
+//!
+//! The paper analyzes DaCapo-era Java programs; we generate synthetic
+//! MiniJava programs of increasing size and pattern density (DESIGN.md §2
+//! documents the substitution). The names are kept so the harness output
+//! lines up with the paper's tables row by row; the configured scales
+//! roughly follow the relative sizes of the original programs (hsqldb and
+//! findbugs smallest, soot and columba largest).
+
+use crate::gen::{generate, GenConfig};
+
+/// One benchmark program of the suite.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The paper's program name this row corresponds to.
+    pub name: &'static str,
+    /// Generator configuration.
+    pub config: GenConfig,
+}
+
+impl Benchmark {
+    /// Generates the MiniJava source.
+    pub fn source(&self) -> String {
+        generate(&self.config)
+    }
+
+    /// Compiles the benchmark to IR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation produced an invalid program (a bug, covered by
+    /// tests).
+    pub fn compile(&self) -> csc_ir::Program {
+        csc_frontend::compile(&self.source()).expect("generated benchmark compiles")
+    }
+}
+
+fn cfg(
+    seed: u64,
+    scenarios_per_kind: usize,
+    data_classes: usize,
+    entities: usize,
+    fields: usize,
+    wrappers: usize,
+    selects: usize,
+    chains: usize,
+    chain_depth: usize,
+) -> GenConfig {
+    GenConfig {
+        seed,
+        data_classes,
+        entities,
+        fields_per_entity: fields,
+        wrappers,
+        selects,
+        chains,
+        chain_depth,
+        scenarios_per_kind,
+        loop_iters: 3,
+        registry_every: 2,
+        factory_prob: 0.3,
+    }
+}
+
+/// The ten-program suite, ordered as in the paper's tables.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "eclipse",
+            config: cfg(0xec11, 180, 30, 15, 4, 12, 12, 8, 5),
+        },
+        Benchmark {
+            name: "freecol",
+            config: cfg(0xf4ee, 330, 55, 27, 4, 22, 22, 10, 6),
+        },
+        Benchmark {
+            name: "briss",
+            config: cfg(0xb415, 330, 50, 25, 4, 20, 20, 9, 5),
+        },
+        Benchmark {
+            name: "hsqldb",
+            config: cfg(0x5b, 40, 8, 4, 3, 5, 5, 3, 4),
+        },
+        Benchmark {
+            name: "jedit",
+            config: cfg(0xed17, 120, 20, 10, 3, 8, 8, 5, 4),
+        },
+        Benchmark {
+            name: "gruntspud",
+            config: cfg(0x6059, 340, 54, 27, 4, 21, 21, 9, 5),
+        },
+        Benchmark {
+            name: "soot",
+            config: cfg(0x5007, 360, 60, 30, 5, 24, 24, 12, 7),
+        },
+        Benchmark {
+            name: "columba",
+            config: cfg(0xc01a, 400, 66, 33, 5, 26, 26, 11, 6),
+        },
+        Benchmark {
+            name: "jython",
+            config: cfg(0x1907, 70, 12, 6, 3, 7, 7, 4, 4),
+        },
+        Benchmark {
+            name: "findbugs",
+            config: cfg(0xf1d6, 50, 10, 5, 3, 6, 6, 4, 4),
+        },
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_suite_compiles() {
+        for b in suite() {
+            let program = b.compile();
+            assert!(
+                program.methods().len() > 40,
+                "{} too small: {} methods",
+                b.name,
+                program.methods().len()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("soot").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's Figure 1 motivating example, end to end: shows the points-to
+//! sets computed by CI, 2obj, and Cut-Shortcut for `result1` / `result2`,
+//! plus the cut/shortcut statistics of the CSC run.
+//!
+//! ```sh
+//! cargo run --release -p csc-examples --bin motivating_example
+//! ```
+
+use csc_core::{run_analysis, Analysis, Budget};
+use csc_workloads::examples::FIGURE1;
+
+fn pt_labels(
+    outcome: &csc_core::AnalysisOutcome<'_>,
+    program: &csc_ir::Program,
+    var_name: &str,
+) -> Vec<String> {
+    let main = program.entry();
+    let v = program
+        .method(main)
+        .vars()
+        .iter()
+        .copied()
+        .find(|&v| program.var(v).name() == var_name)
+        .expect("variable exists");
+    let mut out: Vec<String> = outcome
+        .result
+        .state
+        .pt_var_projected(v)
+        .into_iter()
+        .map(|o| program.obj(o).label().to_owned())
+        .collect();
+    out.sort();
+    out
+}
+
+fn main() {
+    let program = csc_frontend::compile(FIGURE1).expect("Figure 1 compiles");
+    println!("— the program (paper Fig. 1) —\n{}", FIGURE1.trim());
+    println!("\n— analysis results —");
+    for analysis in [Analysis::Ci, Analysis::KObj(2), Analysis::CutShortcut] {
+        let label = analysis.label();
+        let outcome = run_analysis(&program, analysis, Budget::unlimited());
+        println!(
+            "{label:>4}: pt(result1) = {:?}, pt(result2) = {:?}",
+            pt_labels(&outcome, &program, "result1"),
+            pt_labels(&outcome, &program, "result2"),
+        );
+        if let Some(stats) = &outcome.csc {
+            println!(
+                "      CSC cut {} store site(s), {} return(s); added {} shortcut edge(s) \
+                 ({} store, {} load)",
+                stats.cut_store_sites,
+                stats.cut_return_methods,
+                stats.shortcut_edges(),
+                stats.shortcut_store_edges,
+                stats.shortcut_load_edges,
+            );
+        }
+    }
+    println!();
+    println!("CI merges both items; 2obj separates them by cloning Carton's");
+    println!("methods under receiver contexts; Cut-Shortcut gets the same");
+    println!("precise result by cutting the store/return edges and adding");
+    println!("shortcuts — with zero contexts.");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: compile a MiniJava program, run the Cut-Shortcut analysis,
+//! and query points-to sets and precision metrics.
+//!
+//! ```sh
+//! cargo run --release -p csc-examples --bin quickstart
+//! ```
+
+use csc_core::{run_analysis, Analysis, Budget, PrecisionMetrics};
+
+fn main() {
+    let program = csc_frontend::compile(
+        r#"
+        class Box {
+            Object item;
+            void set(Object v) { this.item = v; }
+            Object get() { Object r; r = this.item; return r; }
+        }
+        class Key { }
+        class Coin { }
+        class Main {
+            static void main() {
+                Box keys = new Box();
+                keys.set(new Key());
+                Object k = keys.get();
+
+                Box coins = new Box();
+                coins.set(new Coin());
+                Object c = coins.get();
+
+                Key kk = (Key) k;     // precise analysis: cannot fail
+                Coin cc = (Coin) c;   // precise analysis: cannot fail
+            }
+        }
+        "#,
+    )
+    .expect("valid MiniJava");
+
+    for analysis in [Analysis::Ci, Analysis::CutShortcut] {
+        let label = analysis.label();
+        let outcome = run_analysis(&program, analysis, Budget::unlimited());
+        let metrics = PrecisionMetrics::compute(&outcome.result);
+        println!(
+            "{label:>4}: {:?}  fail-casts={} reach-methods={} poly-calls={} call-edges={}",
+            outcome.total_time,
+            metrics.fail_casts,
+            metrics.reach_methods,
+            metrics.poly_calls,
+            metrics.call_edges
+        );
+
+        // Inspect what `k` may point to.
+        let main = program.entry();
+        let k = program
+            .method(main)
+            .vars()
+            .iter()
+            .copied()
+            .find(|&v| program.var(v).name() == "k")
+            .expect("k exists");
+        let mut pt: Vec<String> = outcome
+            .result
+            .state
+            .pt_var_projected(k)
+            .into_iter()
+            .map(|o| program.obj(o).label().to_owned())
+            .collect();
+        pt.sort();
+        println!("      pt(k) = {pt:?}");
+    }
+    println!();
+    println!("CI merges the Key and the Coin inside Box; Cut-Shortcut separates");
+    println!("them without applying a single calling context.");
+}

@@ -1,0 +1,108 @@
+//! Tests for the §3.4 hybrid extension: Cut-Shortcut composed with
+//! selective object sensitivity applied only to pattern-free methods.
+
+use csc_core::{pattern_methods, run_analysis, Analysis, Budget, CscConfig, PrecisionMetrics};
+use csc_interp::{check_recall, execute, InterpConfig};
+
+/// The motivating case for the combination: a `mix`-style method that no
+/// Cut-Shortcut pattern covers (multiple returns, load into a non-return
+/// local). CSC alone leaves its callers merged; the hybrid recovers them
+/// with contexts on exactly that method.
+const MIXER: &str = r#"
+    class Box {
+        Object f;
+        void set(Object v) { this.f = v; }
+        Object mix(Object v) {
+            Object c;
+            c = this.f;
+            if (c == v) { return c; }
+            return v;
+        }
+    }
+    class Main {
+        static void main() {
+            Box b1 = new Box();
+            b1.set(new Object());
+            Object x1 = b1.mix(new Object());
+            Box b2 = new Box();
+            b2.set(new Object());
+            Object x2 = b2.mix(new Object());
+        }
+    }
+"#;
+
+fn pt_len(out: &csc_core::AnalysisOutcome<'_>, p: &csc_ir::Program, var: &str) -> usize {
+    let v = p
+        .method(p.entry())
+        .vars()
+        .iter()
+        .copied()
+        .find(|&v| p.var(v).name() == var)
+        .unwrap();
+    out.result.state.pt_var_projected(v).len()
+}
+
+#[test]
+fn pattern_methods_excludes_mixers() {
+    let p = csc_frontend::compile(MIXER).unwrap();
+    let covered = pattern_methods(&p, &CscConfig::all());
+    let set = p.method_by_qualified_name("Box.set").unwrap();
+    let mix = p.method_by_qualified_name("Box.mix").unwrap();
+    assert!(covered.contains(&set), "setter is pattern-covered");
+    assert!(!covered.contains(&mix), "mixer is not pattern-covered");
+}
+
+#[test]
+fn hybrid_beats_plain_csc_on_mixers() {
+    let p = csc_frontend::compile(MIXER).unwrap();
+    let csc = run_analysis(&p, Analysis::CutShortcut, Budget::unlimited());
+    // Plain CSC: mix's receivers are merged context-insensitively, so x1
+    // sees objects from both scenarios (its own two + the other box's
+    // stored object).
+    assert!(pt_len(&csc, &p, "x1") > 2);
+    let hybrid = run_analysis(&p, Analysis::CscHybrid, Budget::unlimited());
+    assert!(hybrid.completed());
+    // Hybrid: contexts on mix separate the two boxes; x1 = {b1's stored,
+    // b1's default} only.
+    assert_eq!(pt_len(&hybrid, &p, "x1"), 2);
+    assert_eq!(pt_len(&hybrid, &p, "x2"), 2);
+}
+
+#[test]
+fn hybrid_keeps_pattern_precision() {
+    // On the pure Figure-1 shape the hybrid must be exactly as precise as
+    // plain CSC (patterns cover everything; no contexts applied).
+    let p = csc_frontend::compile(csc_workloads::examples::FIGURE1).unwrap();
+    let csc = run_analysis(&p, Analysis::CutShortcut, Budget::unlimited());
+    let hybrid = run_analysis(&p, Analysis::CscHybrid, Budget::unlimited());
+    for var in ["result1", "result2"] {
+        assert_eq!(pt_len(&hybrid, &p, var), pt_len(&csc, &p, var));
+        assert_eq!(pt_len(&hybrid, &p, var), 1);
+    }
+    assert!(hybrid.selected.as_ref().unwrap().is_empty() || !hybrid.selected.as_ref().unwrap().iter().any(|&m| {
+        let n = p.qualified_name(m);
+        n == "Carton.setItem" || n == "Carton.getItem"
+    }), "pattern-covered methods must not receive contexts");
+}
+
+#[test]
+fn hybrid_sound_and_at_least_as_precise_on_suite_program() {
+    let bench = csc_workloads::by_name("findbugs").unwrap();
+    let program = bench.compile();
+    let trace = execute(&program, InterpConfig::default()).unwrap();
+    let csc = run_analysis(&program, Analysis::CutShortcut, Budget::unlimited());
+    let hybrid = run_analysis(&program, Analysis::CscHybrid, Budget::unlimited());
+    assert!(hybrid.completed());
+    let report = check_recall(
+        &trace,
+        &hybrid.result.state.reachable_methods_projected(),
+        &hybrid.result.state.call_edges_projected(),
+    );
+    assert!(report.full_recall(), "hybrid must stay sound");
+    let m_csc = PrecisionMetrics::compute(&csc.result);
+    let m_hybrid = PrecisionMetrics::compute(&hybrid.result);
+    assert!(m_hybrid.fail_casts <= m_csc.fail_casts);
+    assert!(m_hybrid.poly_calls <= m_csc.poly_calls);
+    assert!(m_hybrid.call_edges <= m_csc.call_edges);
+    assert!(m_hybrid.reach_methods <= m_csc.reach_methods);
+}

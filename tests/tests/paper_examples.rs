@@ -1,0 +1,129 @@
+//! Integration tests: the paper's Figures 1, 3, 4, 5 must come out exactly
+//! as the paper describes, for every analysis in the comparison.
+
+use csc_core::{run_analysis, Analysis, Budget};
+use csc_ir::Program;
+use csc_workloads::examples::{figure4, map_views, FIGURE1, FIGURE3, FIGURE5};
+
+fn pt(outcome: &csc_core::AnalysisOutcome<'_>, program: &Program, var: &str) -> Vec<String> {
+    let main = program.entry();
+    let v = program
+        .method(main)
+        .vars()
+        .iter()
+        .copied()
+        .find(|&v| program.var(v).name() == var)
+        .unwrap_or_else(|| panic!("no variable `{var}` in main"));
+    let mut objs: Vec<String> = outcome
+        .result
+        .state
+        .pt_var_projected(v)
+        .into_iter()
+        .map(|o| program.obj(o).label().to_owned())
+        .collect();
+    objs.sort();
+    objs
+}
+
+fn run(program: &Program, a: Analysis) -> csc_core::AnalysisOutcome<'_> {
+    let out = run_analysis(program, a, Budget::unlimited());
+    assert!(out.completed());
+    out
+}
+
+#[test]
+fn figure1_all_analyses() {
+    let program = csc_frontend::compile(FIGURE1).unwrap();
+    // CI merges o16 and o21 into both results.
+    let ci = run(&program, Analysis::Ci);
+    assert_eq!(pt(&ci, &program, "result1").len(), 2);
+    assert_eq!(pt(&ci, &program, "result2").len(), 2);
+    // 2type cannot help here: both Cartons are allocated in Main, so their
+    // type contexts coincide (type sensitivity trades exactly this kind of
+    // precision for scalability).
+    let t2 = run(&program, Analysis::KType(2));
+    assert_eq!(pt(&t2, &program, "result1").len(), 2);
+    // CSC, 2obj and Zipper-e all recover the precise result.
+    for a in [
+        Analysis::CutShortcut,
+        Analysis::KObj(2),
+        Analysis::ZipperE,
+    ] {
+        let out = run(&program, a.clone());
+        assert_eq!(
+            pt(&out, &program, "result1"),
+            pt(&out, &program, "item1"),
+            "{} must be precise on Figure 1",
+            a.label()
+        );
+        assert_eq!(pt(&out, &program, "result2"), pt(&out, &program, "item2"));
+        assert_eq!(pt(&out, &program, "result1").len(), 1);
+    }
+}
+
+#[test]
+fn figure3_nested_constructor_stores() {
+    let program = csc_frontend::compile(FIGURE3).unwrap();
+    let ci = run(&program, Analysis::Ci);
+    // CI merges t1/t2 through the A(t) -> set(p) chain.
+    assert_eq!(pt(&ci, &program, "x1").len(), 2);
+    let csc = run(&program, Analysis::CutShortcut);
+    // tempStores propagation places the shortcuts at the outermost call
+    // sites: x1 = {o of t1}, x2 = {o of t2}.
+    assert_eq!(pt(&csc, &program, "x1"), pt(&csc, &program, "t1"));
+    assert_eq!(pt(&csc, &program, "x2"), pt(&csc, &program, "t2"));
+    assert_eq!(pt(&csc, &program, "x1").len(), 1);
+    let stats = csc.csc.as_ref().unwrap();
+    assert!(stats.temp_stores >= 2, "nested propagation ran");
+}
+
+#[test]
+fn figure4_containers_and_iterators() {
+    let src = figure4();
+    let program = csc_frontend::compile(&src).unwrap();
+    let ci = run(&program, Analysis::Ci);
+    // CI merges a and b inside the shared list internals.
+    assert_eq!(pt(&ci, &program, "x").len(), 2);
+    assert_eq!(pt(&ci, &program, "r1").len(), 2);
+    let csc = run(&program, Analysis::CutShortcut);
+    assert_eq!(pt(&csc, &program, "x"), pt(&csc, &program, "a"));
+    assert_eq!(pt(&csc, &program, "y"), pt(&csc, &program, "b"));
+    assert_eq!(pt(&csc, &program, "r1"), pt(&csc, &program, "a"), "iterator of l1");
+    assert_eq!(pt(&csc, &program, "r2"), pt(&csc, &program, "b"), "iterator of l2");
+    let stats = csc.csc.as_ref().unwrap();
+    assert!(stats.container_edges >= 4);
+}
+
+#[test]
+fn figure5_local_flow() {
+    let program = csc_frontend::compile(FIGURE5).unwrap();
+    let ci = run(&program, Analysis::Ci);
+    assert_eq!(pt(&ci, &program, "r1").len(), 4, "CI merges all four");
+    let csc = run(&program, Analysis::CutShortcut);
+    let mut expect1 = pt(&csc, &program, "a1");
+    expect1.extend(pt(&csc, &program, "a2"));
+    expect1.sort();
+    assert_eq!(pt(&csc, &program, "r1"), expect1, "r1 = {{o10, o11}}");
+    let mut expect2 = pt(&csc, &program, "a3");
+    expect2.extend(pt(&csc, &program, "a4"));
+    expect2.sort();
+    assert_eq!(pt(&csc, &program, "r2"), expect2, "r2 = {{o14, o15}}");
+    let stats = csc.csc.as_ref().unwrap();
+    assert!(stats.local_flow_edges >= 4);
+}
+
+#[test]
+fn map_views_key_value_categories() {
+    let src = map_views();
+    let program = csc_frontend::compile(&src).unwrap();
+    let csc = run(&program, Analysis::CutShortcut);
+    // get(k1) on m1 yields only v1; keySet iterator yields only keys of m1;
+    // values iterator of m2 yields only v2.
+    assert_eq!(pt(&csc, &program, "g1"), pt(&csc, &program, "v1"));
+    assert_eq!(pt(&csc, &program, "g2"), pt(&csc, &program, "v2"));
+    assert_eq!(pt(&csc, &program, "kk1"), pt(&csc, &program, "k1"));
+    assert_eq!(pt(&csc, &program, "vv2"), pt(&csc, &program, "v2"));
+    // CI conflates keys and values across both maps.
+    let ci = run(&program, Analysis::Ci);
+    assert!(pt(&ci, &program, "g1").len() > 1);
+}

@@ -1,0 +1,90 @@
+//! Property-based end-to-end tests: arbitrary generator configurations must
+//! produce programs that compile, execute, and are soundly analyzed by every
+//! configuration of Cut-Shortcut.
+
+use csc_core::{run_analysis, Analysis, Budget, CscConfig};
+use csc_interp::{check_recall, execute, InterpConfig};
+use csc_workloads::GenConfig;
+use proptest::prelude::*;
+
+fn small_config() -> impl Strategy<Value = GenConfig> {
+    (
+        any::<u64>(),
+        2usize..6,  // data classes
+        1usize..4,  // entities
+        1usize..4,  // fields per entity
+        1usize..4,  // wrappers
+        1usize..4,  // selects
+        1usize..3,  // chains
+        2usize..5,  // chain depth
+        1usize..4,  // scenarios per kind
+        0usize..4,  // registry every (0 = off)
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(seed, data, ent, fields, wraps, sels, chains, depth, scen, reg, fac)| GenConfig {
+                seed,
+                data_classes: data,
+                entities: ent,
+                fields_per_entity: fields,
+                wrappers: wraps,
+                selects: sels,
+                chains,
+                chain_depth: depth,
+                scenarios_per_kind: scen,
+                loop_iters: 2,
+                registry_every: reg,
+                factory_prob: fac,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated program compiles, runs to completion, and every
+    /// Cut-Shortcut configuration fully recalls the dynamic ground truth
+    /// and stays within CI's result.
+    #[test]
+    fn generated_programs_sound_under_csc(cfg in small_config()) {
+        let src = csc_workloads::generate(&cfg);
+        let program = csc_frontend::compile(&src)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}"));
+        let trace = execute(&program, InterpConfig::default())
+            .unwrap_or_else(|e| panic!("bounded execution: {e}"));
+        let ci = run_analysis(&program, Analysis::Ci, Budget::unlimited());
+        let ci_methods = ci.result.state.reachable_methods_projected();
+        let ci_edges = ci.result.state.call_edges_projected();
+        for cfg in [CscConfig::all(), CscConfig::doop(), CscConfig::only_container()] {
+            let out = run_analysis(&program, Analysis::CutShortcutWith(cfg), Budget::unlimited());
+            prop_assert!(out.completed());
+            let methods = out.result.state.reachable_methods_projected();
+            let edges = out.result.state.call_edges_projected();
+            let report = check_recall(&trace, &methods, &edges);
+            prop_assert!(report.full_recall(),
+                "missed methods: {:?}, missed edges: {:?}",
+                report.missed_methods, report.missed_edges);
+            prop_assert!(methods.is_subset(&ci_methods));
+            prop_assert!(edges.is_subset(&ci_edges));
+        }
+    }
+
+    /// Conventional context sensitivity is likewise sound on arbitrary
+    /// generated programs.
+    #[test]
+    fn generated_programs_sound_under_context_sensitivity(cfg in small_config()) {
+        let src = csc_workloads::generate(&cfg);
+        let program = csc_frontend::compile(&src).unwrap();
+        let trace = execute(&program, InterpConfig::default()).unwrap();
+        for a in [Analysis::KObj(2), Analysis::KType(2), Analysis::ZipperE, Analysis::CscHybrid] {
+            let out = run_analysis(&program, a, Budget::unlimited());
+            prop_assert!(out.completed());
+            let report = check_recall(
+                &trace,
+                &out.result.state.reachable_methods_projected(),
+                &out.result.state.call_edges_projected(),
+            );
+            prop_assert!(report.full_recall());
+        }
+    }
+}
