@@ -19,18 +19,13 @@ fn fig12(c: &mut Criterion) {
             ("2type", Analysis::KType(2)),
             ("2obj", Analysis::KObj(2)),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &analysis,
-                |b, analysis| {
-                    b.iter(|| {
-                        let out =
-                            run_analysis(&program, analysis.clone(), Budget::unlimited());
-                        assert!(out.completed());
-                        out.result.state.stats.propagations
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), &analysis, |b, analysis| {
+                b.iter(|| {
+                    let out = run_analysis(&program, analysis.clone(), Budget::unlimited());
+                    assert!(out.completed());
+                    out.result.state.stats.propagations
+                })
+            });
         }
     }
     group.finish();

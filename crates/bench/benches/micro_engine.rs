@@ -23,7 +23,12 @@ fn micro(c: &mut Criterion) {
     let bench = csc_workloads::by_name("jython").expect("suite program");
     let src = bench.source();
     group.bench_function("frontend_compile_jython", |bch| {
-        bch.iter(|| csc_frontend::compile(&src).expect("compiles").methods().len())
+        bch.iter(|| {
+            csc_frontend::compile(&src)
+                .expect("compiles")
+                .methods()
+                .len()
+        })
     });
 
     // Static preparation (cutStores, CHA closure, local flow fixpoint).

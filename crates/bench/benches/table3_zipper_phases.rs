@@ -24,17 +24,18 @@ fn phases(c: &mut Criterion) {
 
     let (pre, _) = Solver::new(&program, CiSelector, NoPlugin, Budget::unlimited()).solve();
     group.bench_function("selection", |b| {
-        b.iter(|| ZipperE::select(&program, &pre, ZipperOptions::default()).selected.len())
+        b.iter(|| {
+            ZipperE::select(&program, &pre, ZipperOptions::default())
+                .selected
+                .len()
+        })
     });
 
     let zipper = ZipperE::select(&program, &pre, ZipperOptions::default());
     group.bench_function("main_selective_2obj", |b| {
         b.iter(|| {
-            let selector = SelectiveSelector::new(
-                ObjSelector::new(2),
-                zipper.selected.clone(),
-                "Zipper-e",
-            );
+            let selector =
+                SelectiveSelector::new(ObjSelector::new(2), zipper.selected.clone(), "Zipper-e");
             let (r, _) = Solver::new(&program, selector, NoPlugin, Budget::unlimited()).solve();
             r.state.stats.propagations
         })

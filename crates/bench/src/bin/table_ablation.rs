@@ -39,9 +39,13 @@ fn main() {
         for (client, get) in [
             (
                 "#fail-cast",
-                Box::new(|m: &PrecisionMetrics| m.fail_casts) as Box<dyn Fn(&PrecisionMetrics) -> usize>,
+                Box::new(|m: &PrecisionMetrics| m.fail_casts)
+                    as Box<dyn Fn(&PrecisionMetrics) -> usize>,
             ),
-            ("#reach-mtd", Box::new(|m: &PrecisionMetrics| m.reach_methods)),
+            (
+                "#reach-mtd",
+                Box::new(|m: &PrecisionMetrics| m.reach_methods),
+            ),
             ("#poly-call", Box::new(|m: &PrecisionMetrics| m.poly_calls)),
             ("#call-edge", Box::new(|m: &PrecisionMetrics| m.call_edges)),
         ] {

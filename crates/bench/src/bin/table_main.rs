@@ -1,11 +1,43 @@
 //! Tables 1 & 2: efficiency and the four precision metrics for every
 //! program × {CI, 2obj, 2type, Zipper-e, CSC}. For all numbers, smaller is
 //! better; timed-out analyses print `>Ns` like the paper's `>2h`.
+//!
+//! Besides the human-readable table, the run writes a machine-readable
+//! perf snapshot to `BENCH_main.json` (path overridable via
+//! `CSC_BENCH_JSON`) so CI can track wall-clock and precision drift.
 
-use csc_bench::{analyses, budget_label, fmt_time, run_row};
+use std::fmt::Write as _;
+
+use csc_bench::{analyses, budget_label, fmt_time, run_row, Row};
+
+fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
+    let stats = &row.outcome.result.state.stats;
+    let _ = write!(
+        out,
+        "    {{\"program\": \"{program}\", \"analysis\": \"{}\", \
+         \"time_secs\": {:.6}, \"completed\": {}, \
+         \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}",
+        row.label,
+        row.outcome.total_time.as_secs_f64(),
+        row.outcome.completed(),
+        stats.propagations,
+        stats.edges,
+        stats.pointers,
+    );
+    if let Some(m) = &row.metrics {
+        let _ = write!(
+            out,
+            ", \"fail_casts\": {}, \"reach_methods\": {}, \"poly_calls\": {}, \
+             \"call_edges\": {}",
+            m.fail_casts, m.reach_methods, m.poly_calls, m.call_edges
+        );
+    }
+    out.push('}');
+}
 
 fn main() {
     let only: Option<String> = std::env::args().nth(1);
+    let mut json_rows: Vec<String> = Vec::new();
     println!(
         "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
         "Program", "Analysis", "Time", "#fail-cast", "#reach-mtd", "#poly-call", "#call-edge"
@@ -42,7 +74,20 @@ fn main() {
                     "-"
                 ),
             }
+            let mut buf = String::new();
+            json_row(&mut buf, bench.name, &row);
+            json_rows.push(buf);
         }
         println!("{}", "-".repeat(78));
+    }
+    let path = std::env::var("CSC_BENCH_JSON").unwrap_or_else(|_| "BENCH_main.json".to_owned());
+    let snapshot = format!(
+        "{{\n  \"budget\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        budget_label(),
+        json_rows.join(",\n")
+    );
+    match std::fs::write(&path, snapshot) {
+        Ok(()) => eprintln!("perf snapshot written to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }

@@ -8,8 +8,8 @@ use csc_interp::{check_recall, execute, InterpConfig};
 
 fn main() {
     println!(
-        "{:<11} {:>8} {:>8}  {}",
-        "Program", "dyn-mtd", "dyn-edge", "recall per analysis (methods% / edges%)"
+        "{:<11} {:>8} {:>8}  recall per analysis (methods% / edges%)",
+        "Program", "dyn-mtd", "dyn-edge"
     );
     println!("{}", "-".repeat(100));
     for bench in csc_workloads::suite() {

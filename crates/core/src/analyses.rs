@@ -178,23 +178,16 @@ pub fn run_analysis<'p>(
             // with the restricted selective selector.
             let cfg = CscConfig::all();
             let covered = crate::csc::pattern_methods(program, &cfg);
-            let selected: HashSet<MethodId> = zipper
-                .selected
-                .difference(&covered)
-                .copied()
-                .collect();
+            let selected: HashSet<MethodId> =
+                zipper.selected.difference(&covered).copied().collect();
             let main_budget = Budget {
                 time: budget.time.map(|t| t.saturating_sub(pre_time)),
                 max_propagations: budget.max_propagations,
             };
-            let selector = SelectiveSelector::new(
-                ObjSelector::new(opts.k),
-                selected.clone(),
-                "CSC+sel",
-            );
+            let selector =
+                SelectiveSelector::new(ObjSelector::new(opts.k), selected.clone(), "CSC+sel");
             let plugin = CutShortcut::new(program, cfg);
-            let (mut result, plugin) =
-                Solver::new(program, selector, plugin, main_budget).solve();
+            let (mut result, plugin) = Solver::new(program, selector, plugin, main_budget).solve();
             result.analysis = "csc-hybrid".to_owned();
             let total_time = pre_time + result.elapsed;
             AnalysisOutcome {

@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use csc_ir::{CallKind, CastId, CallSiteId, Program, Type};
+use csc_ir::{CallKind, CallSiteId, CastId, Program, Type};
 
 use crate::solver::PtaResult;
 

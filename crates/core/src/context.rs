@@ -7,9 +7,11 @@
 //! Cut-Shortcut), `k`-object-, `k`-type-, `k`-call-site-sensitivity, and the
 //! Zipper-e selective variant all share one engine.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use csc_ir::{CallSiteId, ClassId, MethodId, ObjId, Program};
+
+use crate::fx::FxHashMap;
 
 /// One element of a calling context.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,7 +37,7 @@ impl CtxId {
 /// Hash-consing table for contexts.
 #[derive(Debug)]
 pub struct CtxInterner {
-    table: HashMap<Vec<CtxElem>, CtxId>,
+    table: FxHashMap<Vec<CtxElem>, CtxId>,
     ctxs: Vec<Vec<CtxElem>>,
 }
 
@@ -48,8 +50,10 @@ impl Default for CtxInterner {
 impl CtxInterner {
     /// Creates an interner holding only the empty context.
     pub fn new() -> Self {
+        let mut table = FxHashMap::default();
+        table.insert(Vec::new(), CtxId::EMPTY);
         CtxInterner {
-            table: HashMap::from([(Vec::new(), CtxId::EMPTY)]),
+            table,
             ctxs: vec![Vec::new()],
         }
     }

@@ -164,10 +164,9 @@ mod tests {
 
     #[test]
     fn resolve_skips_missing_classes() {
-        let program = csc_frontend::compile(
-            "class Main { static void main() { Object o = new Object(); } }",
-        )
-        .unwrap();
+        let program =
+            csc_frontend::compile("class Main { static void main() { Object o = new Object(); } }")
+                .unwrap();
         let spec = ContainerSpec::mini_jdk().resolve(&program);
         assert!(spec.entrances.is_empty());
         assert!(spec.exits.is_empty());
@@ -206,7 +205,9 @@ mod tests {
         .unwrap();
         let spec = ContainerSpec::mini_jdk().resolve(&program);
         let add = program.method_by_qualified_name("ArrayList.add").unwrap();
-        let iter = program.method_by_qualified_name("ArrayList.iterator").unwrap();
+        let iter = program
+            .method_by_qualified_name("ArrayList.iterator")
+            .unwrap();
         let next = program.method_by_qualified_name("Iterator.next").unwrap();
         assert_eq!(spec.entrances[&add], vec![(1, Category::Col)]);
         assert!(spec.transfers.contains(&iter));

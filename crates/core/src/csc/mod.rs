@@ -32,15 +32,14 @@ mod prep;
 pub use container::{Category, ContainerSpec, ResolvedContainerSpec};
 pub use prep::{cha_targets, StaticInfo};
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use csc_ir::{CallSiteId, FieldId, MethodId, Program, StoreId, VarId};
 
 use crate::context::CtxId;
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::pts::PointsToSet;
-use crate::solver::{
-    CsObjId, EdgeKind, Event, Plugin, PtrId, PtrKey, ShortcutKind, SolverState,
-};
+use crate::solver::{CsObjId, EdgeKind, Event, Plugin, PtrId, PtrKey, ShortcutKind, SolverState};
 
 /// Which patterns are enabled. The default enables all three, matching the
 /// paper's Tai-e configuration; `CscConfig::doop()` disables the load half
@@ -190,6 +189,9 @@ enum Watch {
     Transfer { lhs: PtrId },
 }
 
+/// Propagatable temp-store seeds `(k_base, field, k_from)` per unit.
+type PropStores = FxHashMap<(MethodId, CtxId), Vec<(u32, FieldId, u32)>>;
+
 /// The Cut-Shortcut solver plugin.
 ///
 /// Run it with the context-insensitive selector to get the paper's
@@ -209,31 +211,31 @@ pub struct CutShortcut {
     dyn_cut_load: HashSet<MethodId>,
     /// Propagatable temp stores registered per callee *analysis unit*
     /// (method × context): `(k_base, f, k_from)`.
-    prop_stores: HashMap<(MethodId, CtxId), Vec<(u32, FieldId, u32)>>,
+    prop_stores: PropStores,
     /// Propagatable temp loads registered per callee unit: `(k_base, f)`.
-    prop_loads: HashMap<(MethodId, CtxId), Vec<(u32, FieldId)>>,
-    temp_stores_seen: HashSet<(CtxId, VarId, FieldId, VarId)>,
-    temp_loads_seen: HashSet<(CtxId, VarId, VarId, FieldId)>,
+    prop_loads: FxHashMap<(MethodId, CtxId), Vec<(u32, FieldId)>>,
+    temp_stores_seen: FxHashSet<(CtxId, VarId, FieldId, VarId)>,
+    temp_loads_seen: FxHashSet<(CtxId, VarId, VarId, FieldId)>,
     /// Grounded `[ShortcutStore]` obligations: on growth of `pt(base)`, add
     /// `from → o.f`.
-    store_obls: HashMap<PtrId, Vec<(FieldId, PtrId)>>,
+    store_obls: FxHashMap<PtrId, Vec<(FieldId, PtrId)>>,
     /// `[ShortcutLoad]` obligations: on growth of `pt(base)`, add `o.f → to`.
-    load_obls: HashMap<PtrId, Vec<(FieldId, PtrId)>>,
+    load_obls: FxHashMap<PtrId, Vec<(FieldId, PtrId)>>,
     /// All PFG edges into each method-unit's return variable, with the
     /// `returnLoadEdges` classification.
-    ret_in: HashMap<(MethodId, CtxId), Vec<(PtrId, bool)>>,
+    ret_in: FxHashMap<(MethodId, CtxId), Vec<(PtrId, bool)>>,
     /// `[RelayEdge]` targets (call-site lhs pointers) per cut method unit.
-    relay_targets: HashMap<(MethodId, CtxId), Vec<PtrId>>,
+    relay_targets: FxHashMap<(MethodId, CtxId), Vec<PtrId>>,
     /// The pointer-host map `ptH`.
-    pth: HashMap<PtrId, PointsToSet>,
-    host_succ: HashMap<PtrId, Vec<PtrId>>,
-    host_edges: HashSet<(PtrId, PtrId)>,
+    pth: FxHashMap<PtrId, PointsToSet>,
+    host_succ: FxHashMap<PtrId, Vec<PtrId>>,
+    host_edges: FxHashSet<(PtrId, PtrId)>,
     host_worklist: VecDeque<(PtrId, PointsToSet)>,
-    watches: HashMap<PtrId, Vec<Watch>>,
-    host_sources: HashMap<(u32, Category), Vec<PtrId>>,
-    host_targets: HashMap<(u32, Category), Vec<PtrId>>,
-    source_seen: HashSet<(u32, Category, PtrId)>,
-    target_seen: HashSet<(u32, Category, PtrId)>,
+    watches: FxHashMap<PtrId, Vec<Watch>>,
+    host_sources: FxHashMap<(u32, Category), Vec<PtrId>>,
+    host_targets: FxHashMap<(u32, Category), Vec<PtrId>>,
+    source_seen: FxHashSet<(u32, Category, PtrId)>,
+    target_seen: FxHashSet<(u32, Category, PtrId)>,
     /// Counters.
     pub stats: CscStats,
 }
@@ -272,23 +274,23 @@ impl CutShortcut {
             info,
             spec,
             dyn_cut_load: HashSet::new(),
-            prop_stores: HashMap::new(),
-            prop_loads: HashMap::new(),
-            temp_stores_seen: HashSet::new(),
-            temp_loads_seen: HashSet::new(),
-            store_obls: HashMap::new(),
-            load_obls: HashMap::new(),
-            ret_in: HashMap::new(),
-            relay_targets: HashMap::new(),
-            pth: HashMap::new(),
-            host_succ: HashMap::new(),
-            host_edges: HashSet::new(),
+            prop_stores: FxHashMap::default(),
+            prop_loads: FxHashMap::default(),
+            temp_stores_seen: FxHashSet::default(),
+            temp_loads_seen: FxHashSet::default(),
+            store_obls: FxHashMap::default(),
+            load_obls: FxHashMap::default(),
+            ret_in: FxHashMap::default(),
+            relay_targets: FxHashMap::default(),
+            pth: FxHashMap::default(),
+            host_succ: FxHashMap::default(),
+            host_edges: FxHashSet::default(),
             host_worklist: VecDeque::new(),
-            watches: HashMap::new(),
-            host_sources: HashMap::new(),
-            host_targets: HashMap::new(),
-            source_seen: HashSet::new(),
-            target_seen: HashSet::new(),
+            watches: FxHashMap::default(),
+            host_sources: FxHashMap::default(),
+            host_targets: FxHashMap::default(),
+            source_seen: FxHashSet::default(),
+            target_seen: FxHashSet::default(),
             stats: CscStats::default(),
         };
         std::mem::swap(&mut plugin.stats, &mut stats);
@@ -312,11 +314,19 @@ impl CutShortcut {
 
     fn record_involved(&mut self, st: &SolverState<'_>, p: PtrId) {
         if let PtrKey::Var(_, v) = st.ptr_key(p) {
-            self.stats.involved_methods.insert(st.program.var(v).method());
+            self.stats
+                .involved_methods
+                .insert(st.program.var(v).method());
         }
     }
 
-    fn add_shortcut(&mut self, st: &mut SolverState<'_>, src: PtrId, dst: PtrId, kind: ShortcutKind) {
+    fn add_shortcut(
+        &mut self,
+        st: &mut SolverState<'_>,
+        src: PtrId,
+        dst: PtrId,
+        kind: ShortcutKind,
+    ) {
         if src == dst || st.has_edge(src, dst) {
             return;
         }
@@ -417,7 +427,10 @@ impl CutShortcut {
         // [ShortcutLoad]
         let base_ptr = st.var_ptr(caller_ctx, b);
         let to_ptr = st.var_ptr(caller_ctx, lhs);
-        self.load_obls.entry(base_ptr).or_default().push((f, to_ptr));
+        self.load_obls
+            .entry(base_ptr)
+            .or_default()
+            .push((f, to_ptr));
         let current: Vec<u32> = st.pt(base_ptr).iter().collect();
         for o in current {
             let s = st.field_ptr(CsObjId(o), f);
@@ -484,7 +497,12 @@ impl CutShortcut {
         let replay: Vec<PtrId> = self
             .ret_in
             .get(&(callee, callee_ctx))
-            .map(|v| v.iter().filter(|&&(_, rle)| !rle).map(|&(s, _)| s).collect())
+            .map(|v| {
+                v.iter()
+                    .filter(|&&(_, rle)| !rle)
+                    .map(|&(s, _)| s)
+                    .collect()
+            })
             .unwrap_or_default();
         for s in replay {
             self.add_shortcut(st, s, t, ShortcutKind::Relay);
@@ -657,14 +675,24 @@ impl CutShortcut {
                     for (k, cat) in roles {
                         if let Some(arg) = st.program.call_site(site).arg_k(k) {
                             let arg_ptr = st.var_ptr(caller_ctx, arg);
-                            self.register_watch(st, caller_ctx, recv, Watch::Source { arg: arg_ptr, cat });
+                            self.register_watch(
+                                st,
+                                caller_ctx,
+                                recv,
+                                Watch::Source { arg: arg_ptr, cat },
+                            );
                         }
                     }
                 }
                 if let Some(&cat) = self.spec.exits.get(&callee) {
                     if let Some(lhs) = lhs {
                         let lhs_ptr = st.var_ptr(caller_ctx, lhs);
-                        self.register_watch(st, caller_ctx, recv, Watch::Target { lhs: lhs_ptr, cat });
+                        self.register_watch(
+                            st,
+                            caller_ctx,
+                            recv,
+                            Watch::Target { lhs: lhs_ptr, cat },
+                        );
                     }
                 }
                 if self.spec.transfers.contains(&callee) {
@@ -743,8 +771,7 @@ impl CutShortcut {
         // [PropHost] — all PFG edges except return edges of Transfer
         // methods participate in host propagation.
         if self.cfg.container {
-            let excluded =
-                matches!(kind, EdgeKind::Return(m) if self.spec.transfers.contains(&m));
+            let excluded = matches!(kind, EdgeKind::Return(m) if self.spec.transfers.contains(&m));
             if !excluded {
                 self.host_add_edge(src, dst);
                 self.drain_hosts(st);

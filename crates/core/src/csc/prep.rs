@@ -151,10 +151,7 @@ impl StaticInfo {
             }
             if let Some(k) = unredefined_param_k[ld.base().index()] {
                 qualifying_ret_load[i] = true;
-                prop_load_seeds
-                    .entry(m)
-                    .or_default()
-                    .push((k, ld.field()));
+                prop_load_seeds.entry(m).or_default().push((k, ld.field()));
                 cut_load_returns.insert(m);
                 base_params.entry(m).or_default().insert(k);
             }
@@ -338,7 +335,10 @@ mod tests {
         assert_eq!(p.stores().len(), 1);
         assert!(info.is_cut_store(StoreId::new(0)));
         let set = p.method_by_qualified_name("Carton.setItem").unwrap();
-        assert_eq!(info.prop_store_seeds[&set], vec![(0, p.stores()[0].field(), 1)]);
+        assert_eq!(
+            info.prop_store_seeds[&set],
+            vec![(0, p.stores()[0].field(), 1)]
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod clients;
 pub mod context;
 pub mod csc;
+pub mod fx;
 pub mod pts;
 pub mod solver;
 pub mod zipper;

@@ -1,17 +1,114 @@
 //! Points-to sets.
 //!
-//! A [`PointsToSet`] is a sorted, deduplicated vector of dense u32 ids
-//! (context-sensitive abstract objects, [`crate::solver::CsObjId`]).
+//! A [`PointsToSet`] is a set of dense u32 ids (context-sensitive abstract
+//! objects, [`crate::solver::CsObjId`]) with a *hybrid* representation:
+//! small sets are sorted vectors (cache-friendly, cheap to clone while the
+//! vast majority of pointers stay small), and sets that grow past
+//! [`SMALL_MAX`] elements promote to a dense bitmap whose union/membership
+//! cost is word-parallel — the classic sparse/dense split of production
+//! Andersen solvers.
+//!
 //! The solver propagates *deltas*: [`PointsToSet::union_delta`] merges a set
 //! in and returns exactly the elements that were new, which is what gets
-//! pushed further along pointer-flow-graph edges.
+//! pushed further along pointer-flow-graph edges. Both representations
+//! preserve the exact-delta contract, and iteration is always in ascending
+//! id order regardless of representation.
 
 use std::fmt;
 
-/// A sorted set of dense u32 ids with delta-union support.
-#[derive(Clone, Default, PartialEq, Eq)]
+/// Elements before a small sorted vector promotes to a dense bitmap.
+///
+/// 64 keeps every small set within a few cache lines while bounding the
+/// quadratic insertion-sort regime; beyond it, word-parallel bitmap unions
+/// win decisively.
+const SMALL_MAX: usize = 64;
+
+/// A dense bitmap with a cached population count.
+#[derive(Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl BitSet {
+    fn with_capacity_for(max_elem: u32) -> Self {
+        BitSet {
+            words: vec![0; (max_elem as usize / 64) + 1],
+            len: 0,
+        }
+    }
+
+    fn contains(&self, e: u32) -> bool {
+        let w = (e / 64) as usize;
+        w < self.words.len() && self.words[w] & (1u64 << (e % 64)) != 0
+    }
+
+    /// Sets a bit; returns whether it was newly set.
+    fn insert(&mut self, e: u32) -> bool {
+        let w = (e / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (e % 64);
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        true
+    }
+
+    fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.word_idx as u32 * 64 + bit)
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Sorted, deduplicated vector.
+    Small(Vec<u32>),
+    /// Dense bitmap.
+    Bits(BitSet),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Small(Vec::new())
+    }
+}
+
+/// A set of dense u32 ids with delta-union support and a hybrid
+/// sorted-vec / bitmap representation.
+#[derive(Clone, Default)]
 pub struct PointsToSet {
-    elems: Vec<u32>,
+    repr: Repr,
 }
 
 impl PointsToSet {
@@ -22,31 +119,64 @@ impl PointsToSet {
 
     /// Creates a set holding a single element.
     pub fn singleton(e: u32) -> Self {
-        PointsToSet { elems: vec![e] }
+        PointsToSet {
+            repr: Repr::Small(vec![e]),
+        }
+    }
+
+    /// Builds a set from an already sorted, deduplicated vector.
+    fn from_sorted(elems: Vec<u32>) -> Self {
+        let mut s = PointsToSet {
+            repr: Repr::Small(elems),
+        };
+        s.maybe_promote();
+        s
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.elems.len()
+        match &self.repr {
+            Repr::Small(v) => v.len(),
+            Repr::Bits(b) => b.len as usize,
+        }
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.elems.is_empty()
+        self.len() == 0
     }
 
     /// Membership test.
     pub fn contains(&self, e: u32) -> bool {
-        self.elems.binary_search(&e).is_ok()
+        match &self.repr {
+            Repr::Small(v) => v.binary_search(&e).is_ok(),
+            Repr::Bits(b) => b.contains(e),
+        }
     }
 
     /// Inserts one element; returns whether it was new.
     pub fn insert(&mut self, e: u32) -> bool {
-        match self.elems.binary_search(&e) {
-            Ok(_) => false,
-            Err(i) => {
-                self.elems.insert(i, e);
-                true
+        match &mut self.repr {
+            Repr::Small(v) => match v.binary_search(&e) {
+                Ok(_) => false,
+                Err(i) => {
+                    v.insert(i, e);
+                    self.maybe_promote();
+                    true
+                }
+            },
+            Repr::Bits(b) => b.insert(e),
+        }
+    }
+
+    fn maybe_promote(&mut self) {
+        if let Repr::Small(v) = &self.repr {
+            if v.len() > SMALL_MAX {
+                let mut bits = BitSet::with_capacity_for(*v.last().unwrap());
+                for &e in v {
+                    bits.insert(e);
+                }
+                self.repr = Repr::Bits(bits);
             }
         }
     }
@@ -54,70 +184,186 @@ impl PointsToSet {
     /// Merges `other` in and returns the elements that were not yet present
     /// (`None` when nothing changed — the common case, kept allocation-free).
     pub fn union_delta(&mut self, other: &PointsToSet) -> Option<PointsToSet> {
-        // Fast path: all of `other` already present.
-        if other
-            .elems
-            .iter()
-            .all(|&e| self.elems.binary_search(&e).is_ok())
-        {
+        let mut delta = Vec::new();
+        if !self.union_impl(other, Some(&mut delta)) {
             return None;
         }
-        let mut delta = Vec::new();
-        let mut merged = Vec::with_capacity(self.elems.len() + other.elems.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.elems.len() && j < other.elems.len() {
-            match self.elems[i].cmp(&other.elems[j]) {
-                std::cmp::Ordering::Less => {
-                    merged.push(self.elems[i]);
-                    i += 1;
+        debug_assert!(!delta.is_empty());
+        Some(PointsToSet::from_sorted(delta))
+    }
+
+    /// Merges `other` in without materializing the delta; returns whether
+    /// the set changed. This is the cheap path for accumulator sets (the
+    /// solver's pending-delta batches) where the caller does not need to
+    /// know *which* elements were new.
+    pub fn union_with(&mut self, other: &PointsToSet) -> bool {
+        self.union_impl(other, None)
+    }
+
+    /// The single union core behind [`union_delta`](Self::union_delta) and
+    /// [`union_with`](Self::union_with): merges `other` in, pushes the new
+    /// elements (in ascending order) into `delta` when one is supplied, and
+    /// returns whether the set changed.
+    fn union_impl(&mut self, other: &PointsToSet, mut delta: Option<&mut Vec<u32>>) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        match (&mut self.repr, &other.repr) {
+            (Repr::Small(sv), Repr::Small(ov)) => {
+                // Fast path: all of `other` already present.
+                if ov.iter().all(|e| sv.binary_search(e).is_ok()) {
+                    return false;
                 }
-                std::cmp::Ordering::Greater => {
-                    merged.push(other.elems[j]);
-                    delta.push(other.elems[j]);
-                    j += 1;
+                let mut merged = Vec::with_capacity(sv.len() + ov.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < sv.len() && j < ov.len() {
+                    match sv[i].cmp(&ov[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(sv[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(ov[j]);
+                            if let Some(d) = delta.as_deref_mut() {
+                                d.push(ov[j]);
+                            }
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(sv[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
                 }
-                std::cmp::Ordering::Equal => {
-                    merged.push(self.elems[i]);
-                    i += 1;
-                    j += 1;
+                merged.extend_from_slice(&sv[i..]);
+                for &e in &ov[j..] {
+                    merged.push(e);
+                    if let Some(d) = delta.as_deref_mut() {
+                        d.push(e);
+                    }
                 }
+                *sv = merged;
+                self.maybe_promote();
+                true
             }
-        }
-        merged.extend_from_slice(&self.elems[i..]);
-        for &e in &other.elems[j..] {
-            merged.push(e);
-            delta.push(e);
-        }
-        self.elems = merged;
-        if delta.is_empty() {
-            None
-        } else {
-            Some(PointsToSet { elems: delta })
+            (Repr::Bits(sb), Repr::Small(ov)) => {
+                let mut changed = false;
+                for &e in ov {
+                    if sb.insert(e) {
+                        changed = true;
+                        if let Some(d) = delta.as_deref_mut() {
+                            d.push(e);
+                        }
+                    }
+                }
+                changed
+            }
+            (Repr::Small(_), Repr::Bits(_)) => {
+                // The incoming set is already dense; promote and do the
+                // word-parallel union.
+                let Repr::Small(sv) = std::mem::take(&mut self.repr) else {
+                    unreachable!()
+                };
+                let mut bits = BitSet::with_capacity_for(sv.last().copied().unwrap_or(0));
+                for &e in &sv {
+                    bits.insert(e);
+                }
+                self.repr = Repr::Bits(bits);
+                self.union_impl(other, delta)
+            }
+            (Repr::Bits(sb), Repr::Bits(ob)) => {
+                if ob.words.len() > sb.words.len() {
+                    sb.words.resize(ob.words.len(), 0);
+                }
+                let mut changed = false;
+                for (w, (&ow, sw)) in ob.words.iter().zip(sb.words.iter_mut()).enumerate() {
+                    let mut new = ow & !*sw;
+                    if new == 0 {
+                        continue;
+                    }
+                    *sw |= ow;
+                    sb.len += new.count_ones();
+                    changed = true;
+                    if let Some(d) = delta.as_deref_mut() {
+                        while new != 0 {
+                            let bit = new.trailing_zeros();
+                            new &= new - 1;
+                            d.push(w as u32 * 64 + bit);
+                        }
+                    }
+                }
+                changed
+            }
         }
     }
 
     /// Iterates the elements in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.elems.iter().copied()
+    pub fn iter(&self) -> Iter<'_> {
+        match &self.repr {
+            Repr::Small(v) => Iter(IterInner::Small(v.iter())),
+            Repr::Bits(b) => Iter(IterInner::Bits(b.iter())),
+        }
     }
 
     /// Whether the two sets share at least one element.
     pub fn intersects(&self, other: &PointsToSet) -> bool {
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.elems.len() && j < other.elems.len() {
-            match self.elems[i].cmp(&other.elems[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => {
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => return true,
+                    }
+                }
+                false
+            }
+            (Repr::Bits(a), Repr::Bits(b)) => a
+                .words
+                .iter()
+                .zip(b.words.iter())
+                .any(|(&x, &y)| x & y != 0),
+            (Repr::Small(v), Repr::Bits(b)) | (Repr::Bits(b), Repr::Small(v)) => {
+                v.iter().any(|&e| b.contains(e))
             }
         }
-        false
     }
 }
 
+/// Iterator over a [`PointsToSet`], ascending.
+pub struct Iter<'a>(IterInner<'a>);
+
+enum IterInner<'a> {
+    Small(std::slice::Iter<'a, u32>),
+    Bits(BitIter<'a>),
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match &mut self.0 {
+            IterInner::Small(it) => it.next().copied(),
+            IterInner::Bits(it) => it.next(),
+        }
+    }
+}
+
+impl PartialEq for PointsToSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Representation-independent: sets are equal iff their (ascending)
+        // element sequences are.
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for PointsToSet {}
+
 impl fmt::Debug for PointsToSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.elems.iter()).finish()
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
@@ -126,15 +372,16 @@ impl FromIterator<u32> for PointsToSet {
         let mut elems: Vec<u32> = iter.into_iter().collect();
         elems.sort_unstable();
         elems.dedup();
-        PointsToSet { elems }
+        PointsToSet::from_sorted(elems)
     }
 }
 
 impl Extend<u32> for PointsToSet {
     fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
-        for e in iter {
-            self.insert(e);
-        }
+        // Collect-sort-merge: one O(k log k) sort plus one linear union
+        // instead of k O(n) insertions.
+        let batch: PointsToSet = iter.into_iter().collect();
+        self.union_with(&batch);
     }
 }
 
@@ -184,5 +431,88 @@ mod tests {
     fn from_iterator_sorts_and_dedups() {
         let s: PointsToSet = [5, 1, 5, 3].into_iter().collect();
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn promotion_preserves_contents_and_order() {
+        let mut s = PointsToSet::new();
+        for e in (0..400u32).rev().step_by(3) {
+            s.insert(e);
+        }
+        assert!(
+            matches!(s.repr, Repr::Bits(_)),
+            "must promote past SMALL_MAX"
+        );
+        let got: Vec<u32> = s.iter().collect();
+        let expect: Vec<u32> = (0..400u32).filter(|e| e % 3 == 0).collect();
+        assert_eq!(got, expect);
+        for &e in &got {
+            assert!(s.contains(e));
+        }
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn union_delta_across_representations() {
+        // Small ∪ Bits, Bits ∪ Small, Bits ∪ Bits.
+        let big_a: PointsToSet = (0..300u32).step_by(2).collect();
+        let big_b: PointsToSet = (0..300u32).step_by(3).collect();
+        let small: PointsToSet = [1, 2, 601].into_iter().collect();
+
+        let mut s = small.clone();
+        let delta = s.union_delta(&big_a).unwrap();
+        let expect_delta: Vec<u32> = (0..300u32).step_by(2).filter(|e| *e != 2).collect();
+        assert_eq!(delta.iter().collect::<Vec<u32>>(), expect_delta);
+        assert_eq!(s.len(), 150 + 2);
+
+        let mut s = big_a.clone();
+        let delta = s.union_delta(&small).unwrap();
+        assert_eq!(delta.iter().collect::<Vec<u32>>(), vec![1, 601]);
+
+        let mut s = big_a.clone();
+        let delta = s.union_delta(&big_b).unwrap();
+        let expect: Vec<u32> = (0..300u32).filter(|e| e % 3 == 0 && e % 2 != 0).collect();
+        assert_eq!(delta.iter().collect::<Vec<u32>>(), expect);
+        assert!(s.union_delta(&big_b).is_none());
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let big: PointsToSet = (0..200u32).collect();
+        let mut grown = PointsToSet::new();
+        for e in 0..200u32 {
+            grown.insert(e);
+        }
+        assert_eq!(big, grown);
+        let small: PointsToSet = [7].into_iter().collect();
+        assert_ne!(big, small);
+    }
+
+    #[test]
+    fn union_with_matches_union_delta() {
+        let cases: Vec<(PointsToSet, PointsToSet)> = vec![
+            ([1, 3].into_iter().collect(), [2, 3].into_iter().collect()),
+            ((0..200u32).collect(), (100..300u32).collect()),
+            ([5].into_iter().collect(), (0..200u32).collect()),
+            ((0..200u32).collect(), [7, 500].into_iter().collect()),
+            ((0..10u32).collect(), (0..10u32).collect()),
+        ];
+        for (a, b) in cases {
+            let mut via_delta = a.clone();
+            let changed_delta = via_delta.union_delta(&b).is_some();
+            let mut via_with = a.clone();
+            let changed_with = via_with.union_with(&b);
+            assert_eq!(changed_delta, changed_with);
+            assert_eq!(via_delta, via_with);
+        }
+    }
+
+    #[test]
+    fn extend_merges_batches() {
+        let mut s: PointsToSet = [10, 20].into_iter().collect();
+        s.extend([5, 20, 15, 5]);
+        assert_eq!(s.iter().collect::<Vec<u32>>(), vec![5, 10, 15, 20]);
+        s.extend(0..200u32);
+        assert_eq!(s.len(), 200);
     }
 }

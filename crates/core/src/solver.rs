@@ -8,8 +8,19 @@
 //! entirely as such a plugin (`crate::csc`): its `cutStores`/`cutReturns`
 //! sets suppress edge creation in the `[Store]`/`[Return]` rules, and its
 //! shortcut edges (`E_SC`) enter the graph through [`SolverState::add_edge`].
+//!
+//! ## Data plane
+//!
+//! The state is organized for dense-id access: the empty context (which
+//! every pointer of a CI or Cut-Shortcut run and most pointers of a
+//! selective run live under) interns variables and objects through plain
+//! `Vec` lookups, with small FxHash tables only as the residual path for
+//! context-qualified entities. PFG edge deduplication reuses the hybrid
+//! [`PointsToSet`] as a per-source target set, and the worklist batches
+//! deltas per pointer — repeated `NewPointsTo` deltas targeting the same
+//! pointer coalesce into one pending set before fan-out.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use csc_ir::{
@@ -17,6 +28,7 @@ use csc_ir::{
 };
 
 use crate::context::{CallInfo, ContextSelector, CtxId, CtxInterner};
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::pts::PointsToSet;
 
 /// A dense id for a PFG pointer (context-qualified variable or
@@ -235,6 +247,9 @@ impl VarUses {
     }
 }
 
+/// Sentinel for "not interned yet" in the dense CI tables.
+const ABSENT: u32 = u32::MAX;
+
 /// The complete mutable analysis state. Plugins receive `&mut` access.
 pub struct SolverState<'p> {
     /// The program under analysis.
@@ -242,9 +257,17 @@ pub struct SolverState<'p> {
     /// Context interner.
     pub interner: CtxInterner,
 
-    ptr_table: HashMap<PtrKey, PtrId>,
+    /// Dense empty-context variable pointers, indexed by variable
+    /// ([`ABSENT`] = not interned). The residual table below only sees
+    /// context-qualified variables.
+    ci_var_ptrs: Vec<u32>,
+    var_ptr_table: FxHashMap<(CtxId, VarId), PtrId>,
+    field_ptr_table: FxHashMap<(CsObjId, FieldId), PtrId>,
     ptr_keys: Vec<PtrKey>,
-    obj_table: HashMap<(CtxId, ObjId), CsObjId>,
+
+    /// Dense empty-heap-context objects, indexed by allocation site.
+    ci_objs: Vec<u32>,
+    obj_table: FxHashMap<(CtxId, ObjId), CsObjId>,
     obj_keys: Vec<(CtxId, ObjId)>,
 
     pts: Vec<PointsToSet>,
@@ -252,16 +275,29 @@ pub struct SolverState<'p> {
     /// is a subtype of the filter class propagate along the edge
     /// (`checkcast` semantics, as in Tai-e and Doop).
     succ: Vec<Vec<(PtrId, Option<csc_ir::ClassId>)>>,
-    edge_set: HashSet<(PtrId, PtrId)>,
+    /// Per-source PFG edge-target sets (deduplication). Hash sets keep the
+    /// memory proportional to the edge count (a bitmap here would scale
+    /// with the *maximum* target id per hub source).
+    edge_targets: Vec<FxHashSet<u32>>,
 
-    worklist: VecDeque<(PtrId, PointsToSet)>,
+    /// Batched worklist: per-pointer pending delta accumulators plus the
+    /// FIFO of pointers with a non-empty accumulator.
+    queue: VecDeque<PtrId>,
+    pending: Vec<PointsToSet>,
+
     events: VecDeque<Event>,
     emit_events: bool,
 
-    reachable: HashSet<(CtxId, MethodId)>,
-    call_edge_set: HashSet<(CtxId, CallSiteId, CtxId, MethodId)>,
+    /// Reachability: dense for the empty context, residual set for
+    /// context-qualified units, plus the insertion-ordered log backing the
+    /// public views.
+    reachable_ci: Vec<bool>,
+    reachable_cs: FxHashSet<(CtxId, MethodId)>,
+    reachable_log: Vec<(CtxId, MethodId)>,
+
+    call_edge_set: FxHashSet<(CtxId, CallSiteId, CtxId, MethodId)>,
     call_edges: Vec<(CtxId, CallSiteId, CtxId, MethodId)>,
-    call_edges_by_callee: HashMap<MethodId, Vec<(CtxId, CallSiteId, CtxId)>>,
+    call_edges_by_callee: FxHashMap<MethodId, Vec<(CtxId, CallSiteId, CtxId)>>,
 
     uses: VarUses,
 
@@ -276,20 +312,26 @@ impl<'p> SolverState<'p> {
         SolverState {
             program,
             interner: CtxInterner::new(),
-            ptr_table: HashMap::new(),
+            ci_var_ptrs: vec![ABSENT; program.vars().len()],
+            var_ptr_table: FxHashMap::default(),
+            field_ptr_table: FxHashMap::default(),
             ptr_keys: Vec::new(),
-            obj_table: HashMap::new(),
+            ci_objs: vec![ABSENT; program.objs().len()],
+            obj_table: FxHashMap::default(),
             obj_keys: Vec::new(),
             pts: Vec::new(),
             succ: Vec::new(),
-            edge_set: HashSet::new(),
-            worklist: VecDeque::new(),
+            edge_targets: Vec::new(),
+            queue: VecDeque::new(),
+            pending: Vec::new(),
             events: VecDeque::new(),
             emit_events: false,
-            reachable: HashSet::new(),
-            call_edge_set: HashSet::new(),
+            reachable_ci: vec![false; program.methods().len()],
+            reachable_cs: FxHashSet::default(),
+            reachable_log: Vec::new(),
+            call_edge_set: FxHashSet::default(),
             call_edges: Vec::new(),
-            call_edges_by_callee: HashMap::new(),
+            call_edges_by_callee: FxHashMap::default(),
             uses: VarUses::build(program),
             stats: SolverStats::default(),
             budget,
@@ -299,37 +341,64 @@ impl<'p> SolverState<'p> {
 
     // ---- interning -------------------------------------------------------
 
+    fn push_ptr(&mut self, key: PtrKey) -> PtrId {
+        let id = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
+        self.ptr_keys.push(key);
+        self.pts.push(PointsToSet::new());
+        self.succ.push(Vec::new());
+        self.edge_targets.push(FxHashSet::default());
+        self.pending.push(PointsToSet::new());
+        self.stats.pointers += 1;
+        id
+    }
+
     /// Interns a context-qualified variable pointer.
     pub fn var_ptr(&mut self, ctx: CtxId, v: VarId) -> PtrId {
-        self.intern_ptr(PtrKey::Var(ctx, v))
+        if ctx == CtxId::EMPTY {
+            let slot = self.ci_var_ptrs[v.index()];
+            if slot != ABSENT {
+                return PtrId(slot);
+            }
+            let id = self.push_ptr(PtrKey::Var(ctx, v));
+            self.ci_var_ptrs[v.index()] = id.0;
+            id
+        } else {
+            if let Some(&p) = self.var_ptr_table.get(&(ctx, v)) {
+                return p;
+            }
+            let id = self.push_ptr(PtrKey::Var(ctx, v));
+            self.var_ptr_table.insert((ctx, v), id);
+            id
+        }
     }
 
     /// Interns a field pointer.
     pub fn field_ptr(&mut self, obj: CsObjId, f: FieldId) -> PtrId {
-        self.intern_ptr(PtrKey::Field(obj, f))
-    }
-
-    fn intern_ptr(&mut self, key: PtrKey) -> PtrId {
-        if let Some(&p) = self.ptr_table.get(&key) {
+        if let Some(&p) = self.field_ptr_table.get(&(obj, f)) {
             return p;
         }
-        let id = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
-        self.ptr_keys.push(key);
-        self.ptr_table.insert(key, id);
-        self.pts.push(PointsToSet::new());
-        self.succ.push(Vec::new());
-        self.stats.pointers += 1;
+        let id = self.push_ptr(PtrKey::Field(obj, f));
+        self.field_ptr_table.insert((obj, f), id);
         id
     }
 
     /// Interns a context-qualified object.
     pub fn cs_obj(&mut self, ctx: CtxId, obj: ObjId) -> CsObjId {
-        if let Some(&o) = self.obj_table.get(&(ctx, obj)) {
+        if ctx == CtxId::EMPTY {
+            let slot = self.ci_objs[obj.index()];
+            if slot != ABSENT {
+                return CsObjId(slot);
+            }
+        } else if let Some(&o) = self.obj_table.get(&(ctx, obj)) {
             return o;
         }
         let id = CsObjId(u32::try_from(self.obj_keys.len()).expect("too many objects"));
         self.obj_keys.push((ctx, obj));
-        self.obj_table.insert((ctx, obj), id);
+        if ctx == CtxId::EMPTY {
+            self.ci_objs[obj.index()] = id.0;
+        } else {
+            self.obj_table.insert((ctx, obj), id);
+        }
         self.stats.objects += 1;
         id
     }
@@ -361,7 +430,40 @@ impl<'p> SolverState<'p> {
 
     /// Looks up an already-interned pointer without creating it.
     pub fn find_ptr(&self, key: PtrKey) -> Option<PtrId> {
-        self.ptr_table.get(&key).copied()
+        match key {
+            PtrKey::Var(ctx, v) if ctx == CtxId::EMPTY => {
+                let slot = self.ci_var_ptrs[v.index()];
+                (slot != ABSENT).then_some(PtrId(slot))
+            }
+            PtrKey::Var(ctx, v) => self.var_ptr_table.get(&(ctx, v)).copied(),
+            PtrKey::Field(obj, f) => self.field_ptr_table.get(&(obj, f)).copied(),
+        }
+    }
+
+    // ---- worklist --------------------------------------------------------
+
+    /// Queues a delta for a pointer, coalescing it with whatever is already
+    /// pending for that pointer.
+    fn enqueue(&mut self, ptr: PtrId, objs: &PointsToSet) {
+        if objs.is_empty() {
+            return;
+        }
+        let slot = &mut self.pending[ptr.0 as usize];
+        let was_empty = slot.is_empty();
+        slot.union_with(objs);
+        if was_empty {
+            self.queue.push_back(ptr);
+        }
+    }
+
+    /// Queues a single object for a pointer.
+    fn enqueue_one(&mut self, ptr: PtrId, obj: u32) {
+        let slot = &mut self.pending[ptr.0 as usize];
+        let was_empty = slot.is_empty();
+        slot.insert(obj);
+        if was_empty {
+            self.queue.push_back(ptr);
+        }
     }
 
     // ---- mutation (also used by plugins) ----------------------------------
@@ -371,7 +473,7 @@ impl<'p> SolverState<'p> {
     /// type filter (`checkcast` semantics): only objects assignable to the
     /// cast target propagate, as in Tai-e and Doop.
     pub fn add_edge(&mut self, src: PtrId, dst: PtrId, kind: EdgeKind) {
-        if src == dst || !self.edge_set.insert((src, dst)) {
+        if src == dst || !self.edge_targets[src.0 as usize].insert(dst.0) {
             return;
         }
         let filter = match kind {
@@ -380,11 +482,18 @@ impl<'p> SolverState<'p> {
         };
         self.succ[src.0 as usize].push((dst, filter));
         self.stats.edges += 1;
-        let pts = self.pts[src.0 as usize].clone();
-        if !pts.is_empty() {
-            let filtered = self.apply_filter(&pts, filter);
-            if !filtered.is_empty() {
-                self.worklist.push_back((dst, filtered));
+        if !self.pts[src.0 as usize].is_empty() {
+            match filter {
+                None => {
+                    let pts = std::mem::take(&mut self.pts[src.0 as usize]);
+                    self.enqueue(dst, &pts);
+                    self.pts[src.0 as usize] = pts;
+                }
+                Some(_) => {
+                    let pts = self.pts[src.0 as usize].clone();
+                    let filtered = self.apply_filter(&pts, filter);
+                    self.enqueue(dst, &filtered);
+                }
             }
         }
         if self.emit_events {
@@ -394,11 +503,7 @@ impl<'p> SolverState<'p> {
 
     /// Restricts a set to objects assignable to `filter` (identity for
     /// unfiltered edges).
-    fn apply_filter(
-        &self,
-        objs: &PointsToSet,
-        filter: Option<csc_ir::ClassId>,
-    ) -> PointsToSet {
+    fn apply_filter(&self, objs: &PointsToSet, filter: Option<csc_ir::ClassId>) -> PointsToSet {
         match filter {
             None => objs.clone(),
             Some(class) => objs
@@ -414,14 +519,12 @@ impl<'p> SolverState<'p> {
 
     /// Whether a PFG edge already exists.
     pub fn has_edge(&self, src: PtrId, dst: PtrId) -> bool {
-        self.edge_set.contains(&(src, dst))
+        self.edge_targets[src.0 as usize].contains(&dst.0)
     }
 
     /// Injects objects into a pointer's points-to set (via the worklist).
     pub fn add_points_to(&mut self, ptr: PtrId, objs: PointsToSet) {
-        if !objs.is_empty() {
-            self.worklist.push_back((ptr, objs));
-        }
+        self.enqueue(ptr, &objs);
     }
 
     /// All call-graph edges onto `callee`, as
@@ -438,9 +541,9 @@ impl<'p> SolverState<'p> {
         &self.call_edges
     }
 
-    /// All reachable (context, method) pairs.
-    pub fn reachable(&self) -> &HashSet<(CtxId, MethodId)> {
-        &self.reachable
+    /// All reachable (context, method) pairs, in discovery order.
+    pub fn reachable(&self) -> &[(CtxId, MethodId)] {
+        &self.reachable_log
     }
 
     /// Elapsed wall-clock time since solving began.
@@ -450,6 +553,21 @@ impl<'p> SolverState<'p> {
 
     // ---- core algorithm ---------------------------------------------------
 
+    /// Marks `(ctx, method)` reachable; returns whether it was new.
+    fn insert_reachable(&mut self, ctx: CtxId, method: MethodId) -> bool {
+        if ctx == CtxId::EMPTY {
+            let slot = &mut self.reachable_ci[method.index()];
+            if *slot {
+                return false;
+            }
+            *slot = true;
+        } else if !self.reachable_cs.insert((ctx, method)) {
+            return false;
+        }
+        self.reachable_log.push((ctx, method));
+        true
+    }
+
     fn add_reachable<S: ContextSelector, P: Plugin>(
         &mut self,
         selector: &S,
@@ -457,7 +575,7 @@ impl<'p> SolverState<'p> {
         ctx: CtxId,
         method: MethodId,
     ) {
-        if !self.reachable.insert((ctx, method)) {
+        if !self.insert_reachable(ctx, method) {
             return;
         }
         self.stats.reachable += 1;
@@ -475,10 +593,8 @@ impl<'p> SolverState<'p> {
                 let c = self.program.cast(*id);
                 assigns.push((c.rhs(), c.lhs(), EdgeKind::Cast(*id)));
             }
-            Stmt::Call(id) => {
-                if self.program.call_site(*id).kind() == CallKind::Static {
-                    static_calls.push(*id);
-                }
+            Stmt::Call(id) if self.program.call_site(*id).kind() == CallKind::Static => {
+                static_calls.push(*id);
             }
             _ => {}
         });
@@ -486,7 +602,7 @@ impl<'p> SolverState<'p> {
             let hctx = selector.select_heap(self.program, &mut self.interner, ctx, obj);
             let cs = self.cs_obj(hctx, obj);
             let ptr = self.var_ptr(ctx, lhs);
-            self.worklist.push_back((ptr, PointsToSet::singleton(cs.0)));
+            self.enqueue_one(ptr, cs.0);
         }
         for (rhs, lhs, kind) in assigns {
             let s = self.var_ptr(ctx, rhs);
@@ -525,8 +641,7 @@ impl<'p> SolverState<'p> {
         {
             return;
         }
-        self.call_edges
-            .push((caller_ctx, site, callee_ctx, callee));
+        self.call_edges.push((caller_ctx, site, callee_ctx, callee));
         self.call_edges_by_callee
             .entry(callee)
             .or_default()
@@ -581,18 +696,23 @@ impl<'p> SolverState<'p> {
             }
         }
         if let Some(limit) = self.budget.time {
-            // Checking the clock every 4096 propagations keeps overhead low.
-            if self.stats.propagations % 4096 == 0 && self.started.elapsed() > limit {
+            // Checking the clock every 1024 propagations keeps overhead low.
+            if self.stats.propagations.is_multiple_of(1024) && self.started.elapsed() > limit {
                 return false;
             }
         }
 
-        // [Propagate] along PFG edges (respecting cast filters).
+        // [Propagate] along PFG edges (respecting cast filters). Unfiltered
+        // edges enqueue the delta by reference; only cast edges pay for a
+        // filtered copy.
         for i in 0..self.succ[ptr.0 as usize].len() {
             let (t, filter) = self.succ[ptr.0 as usize][i];
-            let out = self.apply_filter(&delta, filter);
-            if !out.is_empty() {
-                self.worklist.push_back((t, out));
+            match filter {
+                None => self.enqueue(t, &delta),
+                Some(_) => {
+                    let out = self.apply_filter(&delta, filter);
+                    self.enqueue(t, &out);
+                }
             }
         }
 
@@ -672,36 +792,38 @@ impl<'p> SolverState<'p> {
         // [Call]: the receiver object flows into the callee's `this`.
         if let Some(this) = self.program.method(callee).this_var() {
             let t = self.var_ptr(callee_ctx, this);
-            self.worklist
-                .push_back((t, PointsToSet::singleton(recv.0)));
+            self.enqueue_one(t, recv.0);
         }
     }
 
     // ---- context-insensitive projections (used by clients) ----------------
 
     /// Union of `pt(c:v)` over all contexts `c`, projected to allocation
-    /// sites.
-    pub fn pt_var_projected(&self, v: VarId) -> HashSet<ObjId> {
-        let mut out = HashSet::new();
+    /// sites — sorted and deduplicated, so downstream tables and snapshots
+    /// are deterministic.
+    pub fn pt_var_projected(&self, v: VarId) -> Vec<ObjId> {
+        let mut out: Vec<ObjId> = Vec::new();
         for (i, key) in self.ptr_keys.iter().enumerate() {
             if let PtrKey::Var(_, var) = key {
                 if *var == v {
                     for o in self.pts[i].iter() {
-                        out.insert(self.obj_keys[o as usize].1);
+                        out.push(self.obj_keys[o as usize].1);
                     }
                 }
             }
         }
+        out.sort_unstable();
+        out.dedup();
         out
     }
 
-    /// Context-insensitive projection of the reachable-method set.
-    pub fn reachable_methods_projected(&self) -> HashSet<MethodId> {
-        self.reachable.iter().map(|&(_, m)| m).collect()
+    /// Context-insensitive projection of the reachable-method set (ordered).
+    pub fn reachable_methods_projected(&self) -> BTreeSet<MethodId> {
+        self.reachable_log.iter().map(|&(_, m)| m).collect()
     }
 
-    /// Context-insensitive projection of the call graph.
-    pub fn call_edges_projected(&self) -> HashSet<(CallSiteId, MethodId)> {
+    /// Context-insensitive projection of the call graph (ordered).
+    pub fn call_edges_projected(&self) -> BTreeSet<(CallSiteId, MethodId)> {
         self.call_edges
             .iter()
             .map(|&(_, site, _, callee)| (site, callee))
@@ -751,7 +873,8 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
             .add_reachable(&self.selector, &self.plugin, CtxId::EMPTY, entry);
         let mut status = SolveStatus::Completed;
         loop {
-            if let Some((ptr, incoming)) = self.state.worklist.pop_front() {
+            if let Some(ptr) = self.state.queue.pop_front() {
+                let incoming = std::mem::take(&mut self.state.pending[ptr.0 as usize]);
                 if !self.state.step(&self.selector, &self.plugin, ptr, incoming) {
                     status = SolveStatus::Timeout;
                     break;

@@ -125,10 +125,9 @@ impl ZipperE {
             }
             // Constructors that store any argument (common wrapped flow).
             if method.kind() == MethodKind::Constructor {
-                let stores_param = program
-                    .stores()
-                    .iter()
-                    .any(|s| s.method() == m && info.unredefined_param_k[s.rhs().index()].is_some());
+                let stores_param = program.stores().iter().any(|s| {
+                    s.method() == m && info.unredefined_param_k[s.rhs().index()].is_some()
+                });
                 if stores_param {
                     candidates.insert(m);
                 }

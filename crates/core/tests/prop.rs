@@ -58,6 +58,100 @@ proptest! {
         prop_assert_eq!(sb.intersects(&sa), expect);
     }
 
+    /// Hybrid-representation equivalence: driven across the small-vector /
+    /// bitmap promotion threshold, the hybrid set must agree with a sorted
+    /// deduplicated `Vec<u32>` reference model on insert / union_delta /
+    /// contains round-trips. Element ranges are chosen so runs land on both
+    /// sides of the threshold and mix representations in one union.
+    #[test]
+    fn hybrid_matches_sorted_vec_reference(
+        a in proptest::collection::vec(0u32..2000, 0..150),
+        b in proptest::collection::vec(0u32..2000, 0..150),
+        singles in proptest::collection::vec(0u32..2000, 0..20),
+    ) {
+        let reference = |v: &[u32]| -> Vec<u32> {
+            let mut r = v.to_vec();
+            r.sort_unstable();
+            r.dedup();
+            r
+        };
+
+        // insert round-trip.
+        let mut s = PointsToSet::new();
+        for &e in &a {
+            let was_new = !s.contains(e);
+            prop_assert_eq!(s.insert(e), was_new);
+        }
+        prop_assert_eq!(s.iter().collect::<Vec<u32>>(), reference(&a));
+        prop_assert_eq!(s.len(), reference(&a).len());
+
+        // union_delta round-trip, including mixed representations.
+        let mut lhs: PointsToSet = a.iter().copied().collect();
+        let rhs: PointsToSet = b.iter().copied().collect();
+        let ref_a = reference(&a);
+        let ref_b = reference(&b);
+        let expect_delta: Vec<u32> = ref_b
+            .iter()
+            .copied()
+            .filter(|e| ref_a.binary_search(e).is_err())
+            .collect();
+        match lhs.union_delta(&rhs) {
+            None => prop_assert!(expect_delta.is_empty()),
+            Some(d) => prop_assert_eq!(d.iter().collect::<Vec<u32>>(), expect_delta),
+        }
+        let mut expect_union = ref_a.clone();
+        expect_union.extend(expect_delta.iter().copied());
+        expect_union.sort_unstable();
+        prop_assert_eq!(&lhs.iter().collect::<Vec<u32>>(), &expect_union);
+
+        // union_with agrees with union_delta on contents and change-flag.
+        let mut lhs2: PointsToSet = a.iter().copied().collect();
+        let changed = lhs2.union_with(&rhs);
+        prop_assert_eq!(changed, ref_a != expect_union);
+        prop_assert_eq!(&lhs, &lhs2);
+
+        // Membership agrees with the model after union.
+        for &e in &singles {
+            prop_assert_eq!(lhs.contains(e), expect_union.binary_search(&e).is_ok());
+        }
+    }
+
+    /// `intersects` agrees with the set-theoretic definition across every
+    /// representation pairing (small×small, small×bits, bits×bits).
+    #[test]
+    fn hybrid_intersects_across_representations(
+        a in proptest::collection::vec(0u32..400, 0..120),
+        b in proptest::collection::vec(0u32..400, 0..120),
+    ) {
+        let sa: PointsToSet = a.iter().copied().collect();
+        let sb: PointsToSet = b.iter().copied().collect();
+        let expect = a.iter().any(|x| b.contains(x));
+        prop_assert_eq!(sa.intersects(&sb), expect);
+        prop_assert_eq!(sb.intersects(&sa), expect);
+        // Equality is representation-independent.
+        let rebuilt: PointsToSet = sa.iter().collect();
+        prop_assert_eq!(&rebuilt, &sa);
+    }
+
+    /// `Extend` (collect-sort-merge) matches element-wise insertion.
+    #[test]
+    fn extend_matches_insertion(
+        base in proptest::collection::vec(0u32..600, 0..100),
+        added in proptest::collection::vec(0u32..600, 0..100),
+    ) {
+        let mut by_extend: PointsToSet = base.iter().copied().collect();
+        by_extend.extend(added.iter().copied());
+        let mut by_insert: PointsToSet = base.iter().copied().collect();
+        for &e in &added {
+            by_insert.insert(e);
+        }
+        prop_assert_eq!(&by_extend, &by_insert);
+        let mut expect: Vec<u32> = base.iter().chain(added.iter()).copied().collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(by_extend.iter().collect::<Vec<u32>>(), expect);
+    }
+
     /// Interning is injective on context strings and append_k keeps exactly
     /// the last k elements.
     #[test]

@@ -190,27 +190,45 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
             }
             b'{' => {
-                toks.push(Token { tok: Tok::LBrace, pos });
+                toks.push(Token {
+                    tok: Tok::LBrace,
+                    pos,
+                });
                 bump!();
             }
             b'}' => {
-                toks.push(Token { tok: Tok::RBrace, pos });
+                toks.push(Token {
+                    tok: Tok::RBrace,
+                    pos,
+                });
                 bump!();
             }
             b'(' => {
-                toks.push(Token { tok: Tok::LParen, pos });
+                toks.push(Token {
+                    tok: Tok::LParen,
+                    pos,
+                });
                 bump!();
             }
             b')' => {
-                toks.push(Token { tok: Tok::RParen, pos });
+                toks.push(Token {
+                    tok: Tok::RParen,
+                    pos,
+                });
                 bump!();
             }
             b';' => {
-                toks.push(Token { tok: Tok::Semi, pos });
+                toks.push(Token {
+                    tok: Tok::Semi,
+                    pos,
+                });
                 bump!();
             }
             b',' => {
-                toks.push(Token { tok: Tok::Comma, pos });
+                toks.push(Token {
+                    tok: Tok::Comma,
+                    pos,
+                });
                 bump!();
             }
             b'.' => {
@@ -218,35 +236,56 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 bump!();
             }
             b'+' => {
-                toks.push(Token { tok: Tok::Plus, pos });
+                toks.push(Token {
+                    tok: Tok::Plus,
+                    pos,
+                });
                 bump!();
             }
             b'-' => {
-                toks.push(Token { tok: Tok::Minus, pos });
+                toks.push(Token {
+                    tok: Tok::Minus,
+                    pos,
+                });
                 bump!();
             }
             b'*' => {
-                toks.push(Token { tok: Tok::Star, pos });
+                toks.push(Token {
+                    tok: Tok::Star,
+                    pos,
+                });
                 bump!();
             }
             b'%' => {
-                toks.push(Token { tok: Tok::Percent, pos });
+                toks.push(Token {
+                    tok: Tok::Percent,
+                    pos,
+                });
                 bump!();
             }
             b'=' => {
                 bump!();
                 if i < bytes.len() && bytes[i] == b'=' {
                     bump!();
-                    toks.push(Token { tok: Tok::EqEq, pos });
+                    toks.push(Token {
+                        tok: Tok::EqEq,
+                        pos,
+                    });
                 } else {
-                    toks.push(Token { tok: Tok::Assign, pos });
+                    toks.push(Token {
+                        tok: Tok::Assign,
+                        pos,
+                    });
                 }
             }
             b'!' => {
                 bump!();
                 if i < bytes.len() && bytes[i] == b'=' {
                     bump!();
-                    toks.push(Token { tok: Tok::NotEq, pos });
+                    toks.push(Token {
+                        tok: Tok::NotEq,
+                        pos,
+                    });
                 } else {
                     return Err(FrontendError::new(pos, "expected `!=`"));
                 }

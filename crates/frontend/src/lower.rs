@@ -165,7 +165,9 @@ pub fn lower(ast: &SourceProgram) -> Result<Program> {
         } else {
             pb.add_class(&decl.name, None)
         };
-        symtab.by_name.insert(decl.name.clone(), symtab.classes.len());
+        symtab
+            .by_name
+            .insert(decl.name.clone(), symtab.classes.len());
         symtab.classes.push(ClassSym {
             id,
             name: decl.name.clone(),
@@ -196,7 +198,10 @@ pub fn lower(ast: &SourceProgram) -> Result<Program> {
             if steps > symtab.classes.len() {
                 return Err(FrontendError::new(
                     Pos::default(),
-                    format!("class hierarchy cycle involving `{}`", symtab.classes[i].name),
+                    format!(
+                        "class hierarchy cycle involving `{}`",
+                        symtab.classes[i].name
+                    ),
                 ));
             }
         }
@@ -222,7 +227,10 @@ pub fn lower(ast: &SourceProgram) -> Result<Program> {
         for field in &decl.fields {
             let ty = resolve_ty(&symtab, &field.ty, field.pos)?;
             if ty == Type::Void {
-                return Err(FrontendError::new(field.pos, "fields cannot have type void"));
+                return Err(FrontendError::new(
+                    field.pos,
+                    "fields cannot have type void",
+                ));
             }
             if symtab.classes[idx].fields.contains_key(&field.name) {
                 return Err(FrontendError::new(
@@ -432,8 +440,7 @@ impl BodyCtx<'_, '_> {
                     if let Some(v) = self.lookup(name) {
                         self.expr_into(v, self.mb.var_ty(v), value)?;
                         Ok(())
-                    } else if let Some((fid, fty)) =
-                        self.symtab.resolve_field(self.class_idx, name)
+                    } else if let Some((fid, fty)) = self.symtab.resolve_field(self.class_idx, name)
                     {
                         // Implicit `this.name = value`.
                         let this = self.this_var(*vpos)?;
@@ -451,16 +458,15 @@ impl BodyCtx<'_, '_> {
                 Target::Field { base, name, pos } => {
                     let (bv, bt) = self.expr(base)?;
                     let bclass = self.class_of(bt, *pos)?;
-                    let (fid, fty) =
-                        self.symtab.resolve_field(bclass, name).ok_or_else(|| {
-                            FrontendError::new(
-                                *pos,
-                                format!(
-                                    "class `{}` has no field `{name}`",
-                                    self.symtab.classes[bclass].name
-                                ),
-                            )
-                        })?;
+                    let (fid, fty) = self.symtab.resolve_field(bclass, name).ok_or_else(|| {
+                        FrontendError::new(
+                            *pos,
+                            format!(
+                                "class `{}` has no field `{name}`",
+                                self.symtab.classes[bclass].name
+                            ),
+                        )
+                    })?;
                     let (rv, rt) = self.expr(value)?;
                     self.check_assign(fty, rt, *pos)?;
                     self.mb.store(bv, fid, rv);
@@ -597,7 +603,11 @@ impl BodyCtx<'_, '_> {
         if param_tys.len() != args.len() {
             return Err(FrontendError::new(
                 pos,
-                format!("expected {} argument(s), found {}", param_tys.len(), args.len()),
+                format!(
+                    "expected {} argument(s), found {}",
+                    param_tys.len(),
+                    args.len()
+                ),
             ));
         }
         let mut vars = Vec::with_capacity(args.len());
@@ -840,24 +850,21 @@ impl BodyCtx<'_, '_> {
                 // `Name.m(..)` where `Name` is not a variable is a static call.
                 if let Expr::Var(n, npos) = &**b {
                     if self.lookup(n).is_none()
-                        && self
-                            .symtab
-                            .resolve_field(self.class_idx, n)
-                            .is_none()
+                        && self.symtab.resolve_field(self.class_idx, n).is_none()
                     {
                         let cidx = self.symtab.class(n).ok_or_else(|| {
                             FrontendError::new(*npos, format!("unknown variable or class `{n}`"))
                         })?;
-                        let m = self
-                            .symtab
-                            .resolve_method(cidx, name)
-                            .cloned()
-                            .ok_or_else(|| {
-                                FrontendError::new(
-                                    *pos,
-                                    format!("class `{n}` has no method `{name}`"),
-                                )
-                            })?;
+                        let m =
+                            self.symtab
+                                .resolve_method(cidx, name)
+                                .cloned()
+                                .ok_or_else(|| {
+                                    FrontendError::new(
+                                        *pos,
+                                        format!("class `{n}` has no method `{name}`"),
+                                    )
+                                })?;
                         if !m.is_static {
                             return Err(FrontendError::new(
                                 *pos,
@@ -919,9 +926,7 @@ impl BodyCtx<'_, '_> {
                     .symtab
                     .resolve_method(self.class_idx, name)
                     .cloned()
-                    .ok_or_else(|| {
-                        FrontendError::new(*pos, format!("unknown method `{name}`"))
-                    })?;
+                    .ok_or_else(|| FrontendError::new(*pos, format!("unknown method `{name}`")))?;
                 if m.is_static {
                     (CallKind::Static, None, m)
                 } else {

@@ -58,7 +58,11 @@ impl Parser {
         } else {
             Err(FrontendError::new(
                 self.pos(),
-                format!("expected {}, found {}", tok.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    tok.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -145,7 +149,10 @@ impl Parser {
         let is_abstract = self.eat(&Tok::Abstract);
         let is_static = self.eat(&Tok::Static);
         if is_abstract && is_static {
-            return Err(FrontendError::new(pos, "a method cannot be abstract and static"));
+            return Err(FrontendError::new(
+                pos,
+                "a method cannot be abstract and static",
+            ));
         }
         let ty = self.type_name()?;
         let (name, _) = self.ident()?;
@@ -579,11 +586,17 @@ mod tests {
         let p = parse(src).unwrap();
         let body = p.classes[0].methods[0].body.as_ref().unwrap();
         match &body[0] {
-            AStmt::Decl { init: Some(Expr::Cast { ty, .. }), .. } => assert_eq!(ty, "C"),
+            AStmt::Decl {
+                init: Some(Expr::Cast { ty, .. }),
+                ..
+            } => assert_eq!(ty, "C"),
             other => panic!("expected cast decl, got {other:?}"),
         }
         match &body[1] {
-            AStmt::Decl { init: Some(Expr::Var(n, _)), .. } => assert_eq!(n, "x"),
+            AStmt::Decl {
+                init: Some(Expr::Var(n, _)),
+                ..
+            } => assert_eq!(n, "x"),
             other => panic!("expected paren var decl, got {other:?}"),
         }
     }
@@ -611,8 +624,14 @@ mod tests {
         let src = "class C { void m(C c) { c.m(this); m(c); A.stat(c); Object x = c.f.g; } }";
         let p = parse(src).unwrap();
         let body = p.classes[0].methods[0].body.as_ref().unwrap();
-        assert!(matches!(&body[0], AStmt::ExprStmt(Expr::Call { base: Some(_), .. })));
-        assert!(matches!(&body[1], AStmt::ExprStmt(Expr::Call { base: None, .. })));
+        assert!(matches!(
+            &body[0],
+            AStmt::ExprStmt(Expr::Call { base: Some(_), .. })
+        ));
+        assert!(matches!(
+            &body[1],
+            AStmt::ExprStmt(Expr::Call { base: None, .. })
+        ));
         // `A.stat(c)` parses as a call with base Var("A"); lowering decides
         // whether `A` is a variable or a class.
         match &body[2] {
@@ -622,7 +641,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &body[3] {
-            AStmt::Decl { init: Some(Expr::Field { base, .. }), .. } => {
+            AStmt::Decl {
+                init: Some(Expr::Field { base, .. }),
+                ..
+            } => {
                 assert!(matches!(&**base, Expr::Field { .. }));
             }
             other => panic!("unexpected {other:?}"),

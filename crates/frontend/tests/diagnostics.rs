@@ -40,19 +40,15 @@ fn unknown_field() {
 
 #[test]
 fn arity_mismatch() {
-    let e = err(
-        "class A { void m(Object x) { } } \
-         class Main { static void main() { A a = new A(); a.m(); } }",
-    );
+    let e = err("class A { void m(Object x) { } } \
+         class Main { static void main() { A a = new A(); a.m(); } }");
     assert!(e.contains("expected 1 argument(s), found 0"), "{e}");
 }
 
 #[test]
 fn type_mismatch_on_assignment() {
-    let e = err(
-        "class A { } class B { } \
-         class Main { static void main() { A a = new B(); } }",
-    );
+    let e = err("class A { } class B { } \
+         class Main { static void main() { A a = new B(); } }");
     assert!(e.contains("cannot assign `B` to `A`"), "{e}");
 }
 
@@ -64,10 +60,8 @@ fn int_to_reference_rejected() {
 
 #[test]
 fn void_method_as_value() {
-    let e = err(
-        "class A { void m() { } } \
-         class Main { static void main() { A a = new A(); Object x = a.m(); } }",
-    );
+    let e = err("class A { void m() { } } \
+         class Main { static void main() { A a = new A(); Object x = a.m(); } }");
     assert!(e.contains("void method `m` used as a value"), "{e}");
 }
 
@@ -79,36 +73,28 @@ fn missing_main() {
 
 #[test]
 fn multiple_mains_without_main_class() {
-    let e = err(
-        "class A { static void main() { } } class B { static void main() { } }",
-    );
+    let e = err("class A { static void main() { } } class B { static void main() { } }");
     assert!(e.contains("multiple `main`"), "{e}");
 }
 
 #[test]
 fn multiple_mains_with_main_class_resolves() {
-    let p = compile(
-        "class A { static void main() { } } class Main { static void main() { } }",
-    )
-    .unwrap();
+    let p = compile("class A { static void main() { } } class Main { static void main() { } }")
+        .unwrap();
     assert_eq!(p.qualified_name(p.entry()), "Main.main");
 }
 
 #[test]
 fn abstract_class_not_instantiable() {
-    let e = err(
-        "abstract class A { } \
-         class Main { static void main() { A a = new A(); } }",
-    );
+    let e = err("abstract class A { } \
+         class Main { static void main() { A a = new A(); } }");
     assert!(e.contains("cannot instantiate abstract class"), "{e}");
 }
 
 #[test]
 fn super_outside_constructor() {
-    let e = err(
-        "class A { } class B extends A { void m() { super(); } }
-         class Main { static void main() { } }",
-    );
+    let e = err("class A { } class B extends A { void m() { super(); } }
+         class Main { static void main() { } }");
     assert!(e.contains("only allowed in constructors"), "{e}");
 }
 
@@ -140,9 +126,8 @@ fn condition_must_be_boolean() {
 
 #[test]
 fn mixed_eq_operands_rejected() {
-    let e = err(
-        "class Main { static void main() { Object o = new Object(); boolean b = o == 1; } }",
-    );
+    let e =
+        err("class Main { static void main() { Object o = new Object(); boolean b = o == 1; } }");
     assert!(e.contains("`==`/`!=` require"), "{e}");
 }
 

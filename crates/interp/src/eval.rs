@@ -1,6 +1,6 @@
 //! The evaluator: direct interpretation of the structured IR.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -31,9 +31,9 @@ impl Default for InterpConfig {
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Methods that were entered.
-    pub reached_methods: HashSet<MethodId>,
+    pub reached_methods: BTreeSet<MethodId>,
     /// `(call site, concrete callee)` pairs that executed.
-    pub call_edges: HashSet<(CallSiteId, MethodId)>,
+    pub call_edges: BTreeSet<(CallSiteId, MethodId)>,
     /// Executed statements.
     pub steps: u64,
     /// Heap allocations performed.
@@ -57,7 +57,11 @@ pub struct ExecError {
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "step budget exhausted after {} steps", self.partial.steps)
+        write!(
+            f,
+            "step budget exhausted after {} steps",
+            self.partial.steps
+        )
     }
 }
 
@@ -103,13 +107,14 @@ struct Frame {
 
 impl Frame {
     fn read(&self, program: &Program, v: VarId) -> Value {
-        self.locals.get(&v).copied().unwrap_or_else(|| {
-            match program.var(v).ty() {
+        self.locals
+            .get(&v)
+            .copied()
+            .unwrap_or_else(|| match program.var(v).ty() {
                 Type::Int => Value::Int(0),
                 Type::Boolean => Value::Bool(false),
                 _ => Value::Null,
-            }
-        })
+            })
     }
 
     fn write(&mut self, v: VarId, val: Value) {
@@ -438,14 +443,17 @@ mod tests {
 
     #[test]
     fn step_budget_enforced() {
-        let program = csc_frontend::compile(r#"
+        let program = csc_frontend::compile(
+            r#"
             class Main {
                 static void main() {
                     int i = 0;
                     while (0 <= i) { i = 1; }
                 }
             }
-        "#).unwrap();
+        "#,
+        )
+        .unwrap();
         let err = execute(
             &program,
             InterpConfig {

@@ -1,7 +1,7 @@
 //! The recall (soundness) check of §5.1: every dynamically reached method
 //! and executed call edge must be present in a sound static result.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use csc_ir::{CallSiteId, MethodId};
 
@@ -52,8 +52,8 @@ impl RecallReport {
 /// graph (both context-insensitively projected).
 pub fn check_recall(
     trace: &Trace,
-    static_methods: &HashSet<MethodId>,
-    static_edges: &HashSet<(CallSiteId, MethodId)>,
+    static_methods: &BTreeSet<MethodId>,
+    static_edges: &BTreeSet<(CallSiteId, MethodId)>,
 ) -> RecallReport {
     let mut missed_methods: Vec<MethodId> = trace
         .reached_methods
@@ -109,7 +109,7 @@ mod tests {
         )
         .unwrap();
         let trace = execute(&program, InterpConfig::default()).unwrap();
-        let report = check_recall(&trace, &HashSet::new(), &HashSet::new());
+        let report = check_recall(&trace, &BTreeSet::new(), &BTreeSet::new());
         assert!(!report.full_recall());
         assert_eq!(report.missed_methods.len(), trace.reached_methods.len());
         assert!(report.method_recall_pct() < 1.0);

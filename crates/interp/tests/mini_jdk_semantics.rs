@@ -44,7 +44,7 @@ fn arraylist_preserves_insertion_order() {
     let t = run(body);
     assert_eq!(t.failed_casts, 0, "order correct => casts succeed");
     assert_eq!(t.null_derefs, 0);
-    assert_eq!(t.call_edges.iter().count() > 6, true);
+    assert!(t.call_edges.len() > 6);
 }
 
 /// The iterator must visit every element exactly once.
@@ -67,7 +67,10 @@ fn iterator_visits_all_elements() {
     "#;
     // The `crash` line is a deliberate null dereference; reaching it means
     // the iterator yielded the wrong number of elements.
-    let t = run(&body.replace("Object x = crash.toStringLike;", "Probe p = (Probe) crash; int z = p.id;"));
+    let t = run(&body.replace(
+        "Object x = crash.toStringLike;",
+        "Probe p = (Probe) crash; int z = p.id;",
+    ));
     assert_eq!(t.null_derefs, 0, "iterator must yield exactly 5 elements");
 }
 

@@ -128,7 +128,12 @@ impl ProgramBuilder {
         self.object_class
     }
 
-    fn push_class(&mut self, name: &str, superclass: Option<ClassId>, is_abstract: bool) -> ClassId {
+    fn push_class(
+        &mut self,
+        name: &str,
+        superclass: Option<ClassId>,
+        is_abstract: bool,
+    ) -> ClassId {
         let id = ClassId::from_usize(self.classes.len());
         self.classes.push(Class {
             name: name.to_owned(),
@@ -342,9 +347,7 @@ impl ProgramBuilder {
             let mut cur = Some(ClassId::from_usize(c));
             while let Some(id) = cur {
                 if chain.len() > n {
-                    return Err(BuildError::HierarchyCycle(
-                        self.classes[c].name.clone(),
-                    ));
+                    return Err(BuildError::HierarchyCycle(self.classes[c].name.clone()));
                 }
                 chain.push(id);
                 cur = self.classes[id.index()].superclass;
@@ -358,7 +361,10 @@ impl ProgramBuilder {
             for &m in &class.methods {
                 let name = &self.methods[m.index()].name;
                 if seen.insert(name.clone(), ()).is_some() {
-                    return Err(BuildError::DuplicateMethod(class.name.clone(), name.clone()));
+                    return Err(BuildError::DuplicateMethod(
+                        class.name.clone(),
+                        name.clone(),
+                    ));
                 }
             }
             let mut seen = HashMap::new();
@@ -478,7 +484,10 @@ impl MethodBuilder<'_> {
     }
 
     fn emit(&mut self, s: Stmt) {
-        self.blocks.last_mut().expect("block stack non-empty").push(s);
+        self.blocks
+            .last_mut()
+            .expect("block stack non-empty")
+            .push(s);
     }
 
     /// Emits `lhs = new C()` and returns the allocation site.
@@ -812,8 +821,14 @@ mod tests {
         let c = pb.add_class("C", None);
         pb.begin_method(c, "m", MethodKind::Instance, &[], Type::Void)
             .finish();
-        pb.begin_method(c, "m", MethodKind::Instance, &[("x", Type::Int)], Type::Void)
-            .finish();
+        pb.begin_method(
+            c,
+            "m",
+            MethodKind::Instance,
+            &[("x", Type::Int)],
+            Type::Void,
+        )
+        .finish();
         let main_class = pb.add_class("Main", None);
         let main = pb
             .begin_method(main_class, "main", MethodKind::Static, &[], Type::Void)
@@ -871,7 +886,13 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let object = pb.object_class();
         let c = pb.add_class("C", None);
-        let mut mb = pb.begin_method(c, "id", MethodKind::Instance, &[("x", Type::Class(object))], Type::Class(object));
+        let mut mb = pb.begin_method(
+            c,
+            "id",
+            MethodKind::Instance,
+            &[("x", Type::Class(object))],
+            Type::Class(object),
+        );
         let x = mb.param(0);
         mb.ret(Some(x));
         let id = mb.finish();

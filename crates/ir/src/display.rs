@@ -42,13 +42,7 @@ impl Program {
         let params: Vec<String> = method
             .params()
             .iter()
-            .map(|&p| {
-                format!(
-                    "{} {}",
-                    self.type_name(self.var(p).ty()),
-                    self.var_name(p)
-                )
-            })
+            .map(|&p| format!("{} {}", self.type_name(self.var(p).ty()), self.var_name(p)))
             .collect();
         let _ = writeln!(
             out,
@@ -83,7 +77,12 @@ impl Program {
                 );
             }
             Stmt::Assign { lhs, rhs } => {
-                let _ = writeln!(out, "{pad}{} = {};", self.var_name(*lhs), self.var_name(*rhs));
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {};",
+                    self.var_name(*lhs),
+                    self.var_name(*rhs)
+                );
             }
             Stmt::Cast(id) => {
                 let c = self.cast(*id);

@@ -541,7 +541,11 @@ impl Program {
     /// Fully qualified `Class.method` name of a method.
     pub fn qualified_name(&self, m: MethodId) -> String {
         let method = &self.methods[m.index()];
-        format!("{}.{}", self.classes[method.class.index()].name, method.name)
+        format!(
+            "{}.{}",
+            self.classes[method.class.index()].name,
+            method.name
+        )
     }
 
     /// Total number of statements in all method bodies (incl. nested).

@@ -170,12 +170,21 @@ mod tests {
     #[test]
     fn visit_recurses_into_blocks() {
         let body = vec![
-            Stmt::ConstInt { lhs: v(0), value: 1 },
+            Stmt::ConstInt {
+                lhs: v(0),
+                value: 1,
+            },
             Stmt::If {
                 cond: v(1),
-                then_branch: vec![Stmt::Assign { lhs: v(2), rhs: v(3) }],
+                then_branch: vec![Stmt::Assign {
+                    lhs: v(2),
+                    rhs: v(3),
+                }],
                 else_branch: vec![Stmt::While {
-                    cond_stmts: vec![Stmt::ConstBool { lhs: v(4), value: true }],
+                    cond_stmts: vec![Stmt::ConstBool {
+                        lhs: v(4),
+                        value: true,
+                    }],
                     cond: v(4),
                     body: vec![Stmt::Return],
                 }],

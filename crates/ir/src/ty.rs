@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn as_class() {
-        assert_eq!(Type::Class(ClassId::new(4)).as_class(), Some(ClassId::new(4)));
+        assert_eq!(
+            Type::Class(ClassId::new(4)).as_class(),
+            Some(ClassId::new(4))
+        );
         assert_eq!(Type::Int.as_class(), None);
     }
 

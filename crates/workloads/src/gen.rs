@@ -128,10 +128,7 @@ fn write_entities(out: &mut String, cfg: &GenConfig, rng: &mut StdRng) {
         let _ = writeln!(out, "class E{e}{parent} {{");
         for f in 0..cfg.fields_per_entity {
             let _ = writeln!(out, "    Data e{e}f{f};");
-            let _ = writeln!(
-                out,
-                "    void setF{e}_{f}(Data v) {{ this.e{e}f{f} = v; }}"
-            );
+            let _ = writeln!(out, "    void setF{e}_{f}(Data v) {{ this.e{e}f{f} = v; }}");
             let _ = writeln!(
                 out,
                 "    Data getF{e}_{f}() {{ Data r; r = this.e{e}f{f}; return r; }}"
@@ -175,7 +172,10 @@ fn write_wrappers(out: &mut String, cfg: &GenConfig, rng: &mut StdRng) {
         } else {
             let _ = writeln!(out, "    W{w}(Data v) {{ this.val = v; }}");
         }
-        let _ = writeln!(out, "    Data unwrap() {{ Data r; r = this.val; return r; }}");
+        let _ = writeln!(
+            out,
+            "    Data unwrap() {{ Data r; r = this.val; return r; }}"
+        );
         out.push_str("}\n");
     }
 }
@@ -183,10 +183,7 @@ fn write_wrappers(out: &mut String, cfg: &GenConfig, rng: &mut StdRng) {
 fn write_factory_and_registry(out: &mut String, cfg: &GenConfig) {
     out.push_str("class Factory {\n");
     for d in 0..cfg.data_classes {
-        let _ = writeln!(
-            out,
-            "    static Data makeD{d}() {{ return new D{d}(); }}"
-        );
+        let _ = writeln!(out, "    static Data makeD{d}() {{ return new D{d}(); }}");
     }
     out.push_str("}\n");
     if cfg.registry_every > 0 {
@@ -328,12 +325,17 @@ fn kind_name(kind: usize) -> &'static str {
 /// genuinely failing cast.
 fn pick_data(cfg: &GenConfig, rng: &mut StdRng) -> (usize, usize) {
     let d = rng.gen_range(0..cfg.data_classes);
-    let other = (d + 1 + rng.gen_range(0..cfg.data_classes.saturating_sub(1).max(1)))
-        % cfg.data_classes;
+    let other =
+        (d + 1 + rng.gen_range(0..cfg.data_classes.saturating_sub(1).max(1))) % cfg.data_classes;
     (d, other)
 }
 
-fn field_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+fn field_scenario(
+    out: &mut String,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+    ctx: &mut ScenarioCtx,
+) -> &'static str {
     let e = rng.gen_range(0..cfg.entities);
     let f = rng.gen_range(0..cfg.fields_per_entity);
     let (d, _) = pick_data(cfg, rng);
@@ -352,7 +354,12 @@ fn field_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut
     "v"
 }
 
-fn wrapper_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+fn wrapper_scenario(
+    out: &mut String,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+    ctx: &mut ScenarioCtx,
+) -> &'static str {
     let w = rng.gen_range(0..cfg.wrappers.max(1));
     let (d, _) = pick_data(cfg, rng);
     emit_primary(out, cfg, rng, "v", d);
@@ -364,7 +371,12 @@ fn wrapper_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &m
     "got"
 }
 
-fn list_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+fn list_scenario(
+    out: &mut String,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+    ctx: &mut ScenarioCtx,
+) -> &'static str {
     let (d, other) = pick_data(cfg, rng);
     let linked = rng.gen_bool(0.3);
     let class = if linked { "LinkedList" } else { "ArrayList" };
@@ -393,7 +405,12 @@ fn list_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut 
     "cast"
 }
 
-fn map_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+fn map_scenario(
+    out: &mut String,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+    ctx: &mut ScenarioCtx,
+) -> &'static str {
     let (d, other) = pick_data(cfg, rng);
     let _ = writeln!(out, "        HashMap m = new HashMap();");
     let _ = writeln!(out, "        D{d} key = new D{d}();");
@@ -420,7 +437,12 @@ fn map_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut S
     "cast"
 }
 
-fn select_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+fn select_scenario(
+    out: &mut String,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+    ctx: &mut ScenarioCtx,
+) -> &'static str {
     let s = rng.gen_range(0..cfg.selects.max(1));
     let three = three_arg_select(cfg, s);
     let (d, other) = pick_data(cfg, rng);
@@ -445,7 +467,12 @@ fn three_arg_select(_cfg: &GenConfig, s: usize) -> bool {
     s % 3 == 1
 }
 
-fn chain_scenario(out: &mut String, cfg: &GenConfig, rng: &mut StdRng, ctx: &mut ScenarioCtx) -> &'static str {
+fn chain_scenario(
+    out: &mut String,
+    cfg: &GenConfig,
+    rng: &mut StdRng,
+    ctx: &mut ScenarioCtx,
+) -> &'static str {
     let c = rng.gen_range(0..cfg.chains.max(1));
     let (d, _) = pick_data(cfg, rng);
     emit_primary(out, cfg, rng, "v", d);

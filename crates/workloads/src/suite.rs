@@ -36,6 +36,7 @@ impl Benchmark {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cfg(
     seed: u64,
     scenarios_per_kind: usize,

@@ -42,7 +42,11 @@ fn show(program: &csc_ir::Program, title: &str, vars: &[&str]) {
 fn main() {
     let fig4 = csc_frontend::compile(&figure4()).expect("Figure 4 compiles");
     // x/y via get(), r1/r2 via iterators — all four are precise under CSC.
-    show(&fig4, "Figure 4: lists and iterators", &["x", "y", "r1", "r2"]);
+    show(
+        &fig4,
+        "Figure 4: lists and iterators",
+        &["x", "y", "r1", "r2"],
+    );
 
     let maps = csc_frontend::compile(&map_views()).expect("map example compiles");
     show(

@@ -78,7 +78,11 @@ fn three_level_nested_store_precision() {
     let ci = run_analysis(&p, Analysis::Ci, Budget::unlimited());
     assert_eq!(pt_len(&ci, &p, "x1"), 2, "CI merges");
     let csc = run_analysis(&p, Analysis::CutShortcut, Budget::unlimited());
-    assert_eq!(pt_len(&csc, &p, "x1"), 1, "temp stores walk two call levels");
+    assert_eq!(
+        pt_len(&csc, &p, "x1"),
+        1,
+        "temp stores walk two call levels"
+    );
     assert_eq!(pt_len(&csc, &p, "x2"), 1);
 }
 
@@ -218,7 +222,11 @@ fn container_of_wrappers_composes_patterns() {
     let ci = run_analysis(&p, Analysis::Ci, Budget::unlimited());
     assert_eq!(pt_len(&ci, &p, "x1"), 2);
     let csc = run_analysis(&p, Analysis::CutShortcut, Budget::unlimited());
-    assert_eq!(pt_len(&csc, &p, "x1"), 1, "container + field patterns compose");
+    assert_eq!(
+        pt_len(&csc, &p, "x1"),
+        1,
+        "container + field patterns compose"
+    );
     assert_eq!(pt_len(&csc, &p, "x2"), 1);
     // Single patterns alone are not enough here.
     let only_container = run_analysis(

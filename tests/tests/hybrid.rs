@@ -79,10 +79,14 @@ fn hybrid_keeps_pattern_precision() {
         assert_eq!(pt_len(&hybrid, &p, var), pt_len(&csc, &p, var));
         assert_eq!(pt_len(&hybrid, &p, var), 1);
     }
-    assert!(hybrid.selected.as_ref().unwrap().is_empty() || !hybrid.selected.as_ref().unwrap().iter().any(|&m| {
-        let n = p.qualified_name(m);
-        n == "Carton.setItem" || n == "Carton.getItem"
-    }), "pattern-covered methods must not receive contexts");
+    assert!(
+        hybrid.selected.as_ref().unwrap().is_empty()
+            || !hybrid.selected.as_ref().unwrap().iter().any(|&m| {
+                let n = p.qualified_name(m);
+                n == "Carton.setItem" || n == "Carton.getItem"
+            }),
+        "pattern-covered methods must not receive contexts"
+    );
 }
 
 #[test]

@@ -44,11 +44,7 @@ fn figure1_all_analyses() {
     let t2 = run(&program, Analysis::KType(2));
     assert_eq!(pt(&t2, &program, "result1").len(), 2);
     // CSC, 2obj and Zipper-e all recover the precise result.
-    for a in [
-        Analysis::CutShortcut,
-        Analysis::KObj(2),
-        Analysis::ZipperE,
-    ] {
+    for a in [Analysis::CutShortcut, Analysis::KObj(2), Analysis::ZipperE] {
         let out = run(&program, a.clone());
         assert_eq!(
             pt(&out, &program, "result1"),
@@ -88,8 +84,16 @@ fn figure4_containers_and_iterators() {
     let csc = run(&program, Analysis::CutShortcut);
     assert_eq!(pt(&csc, &program, "x"), pt(&csc, &program, "a"));
     assert_eq!(pt(&csc, &program, "y"), pt(&csc, &program, "b"));
-    assert_eq!(pt(&csc, &program, "r1"), pt(&csc, &program, "a"), "iterator of l1");
-    assert_eq!(pt(&csc, &program, "r2"), pt(&csc, &program, "b"), "iterator of l2");
+    assert_eq!(
+        pt(&csc, &program, "r1"),
+        pt(&csc, &program, "a"),
+        "iterator of l1"
+    );
+    assert_eq!(
+        pt(&csc, &program, "r2"),
+        pt(&csc, &program, "b"),
+        "iterator of l2"
+    );
     let stats = csc.csc.as_ref().unwrap();
     assert!(stats.container_edges >= 4);
 }

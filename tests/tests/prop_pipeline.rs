@@ -10,15 +10,15 @@ use proptest::prelude::*;
 fn small_config() -> impl Strategy<Value = GenConfig> {
     (
         any::<u64>(),
-        2usize..6,  // data classes
-        1usize..4,  // entities
-        1usize..4,  // fields per entity
-        1usize..4,  // wrappers
-        1usize..4,  // selects
-        1usize..3,  // chains
-        2usize..5,  // chain depth
-        1usize..4,  // scenarios per kind
-        0usize..4,  // registry every (0 = off)
+        2usize..6, // data classes
+        1usize..4, // entities
+        1usize..4, // fields per entity
+        1usize..4, // wrappers
+        1usize..4, // selects
+        1usize..3, // chains
+        2usize..5, // chain depth
+        1usize..4, // scenarios per kind
+        0usize..4, // registry every (0 = off)
         0.0f64..1.0,
     )
         .prop_map(

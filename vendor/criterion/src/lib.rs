@@ -1,0 +1,248 @@
+//! Offline, API-compatible shim for the subset of `criterion` this
+//! workspace uses: groups, `bench_function` / `bench_with_input`,
+//! `sample_size`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark runs one warm-up iteration and then up to
+//! `sample_size` timed iterations, stopping early once
+//! `CRITERION_MAX_MS` (default 3000) of measurement time is spent, and
+//! prints min/mean/median/max wall-clock per iteration. There are no
+//! statistical reports; the point is that `cargo bench` runs end-to-end
+//! offline and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    max_measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let max_ms = std::env::var("CRITERION_MAX_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3000u64);
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; `--bench`/`--test` harness flags are skipped.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            default_sample_size: 10,
+            max_measure: Duration::from_millis(max_ms),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.to_string(), sample_size, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            max_measure: self.max_measure,
+        };
+        f(&mut b);
+        b.report(id);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Caps the wall-clock spent measuring one benchmark (the shim also
+    /// honors the `CRITERION_MAX_MS` environment variable).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.max_measure = d;
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, n, f);
+    }
+
+    /// Benchmarks a closure over one input under `group/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id shown as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    max_measure: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if measure_start.elapsed() > self.max_measure {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{id:<44} mean {:>10} median {:>10} min {:>10} max {:>10} ({} samples)",
+            fmt(mean),
+            fmt(median),
+            fmt(sorted[0]),
+            fmt(*sorted.last().unwrap()),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            max_measure: Duration::from_millis(100),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0u32;
+        group.bench_function("id", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 2, "warm-up + samples must run the body");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+    }
+}

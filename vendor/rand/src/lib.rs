@@ -1,0 +1,195 @@
+//! Offline, API-compatible shim for the subset of `rand` 0.8 this
+//! workspace uses: `StdRng`, `SeedableRng`, and `Rng::{gen, gen_range,
+//! gen_bool}` over integer and float ranges.
+//!
+//! The generator is SplitMix64 — statistically fine for workload
+//! generation and property testing, deterministic per seed, but not the
+//! same stream as upstream `StdRng` (ChaCha12).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// A type that can seed an RNG.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the RNG from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Values samplable from a uniform range — the subset of upstream's
+/// `SampleUniform` needed by `gen_range`.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Values producible by `Rng::gen`.
+pub trait Standard {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of an implementing type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `[range.start, range.end)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        f64_from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn f64_from_bits(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide);
+                // Multiply-shift bounded sampling (Lemire); the tiny bias
+                // is irrelevant for workload generation.
+                let x = rng.next_u64() as u128;
+                let r = ((x * span as u128) >> 64) as $wide;
+                range.start.wrapping_add(r as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                  i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + f64_from_bits(rng.next_u64()) * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        f64::sample_range(rng, range.start as f64..range.end as f64) as f32
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64_from_bits(rng.next_u64())
+    }
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard RNG: SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u8; 8];
+            s.copy_from_slice(&seed[..8]);
+            Self::seed_from_u64(u64::from_le_bytes(s))
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u32> = (0..16).map(|_| a.gen_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen_range(0u32..1000)).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<u32> = (0..16).map(|_| c.gen_range(0u32..1000)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}
