@@ -1,0 +1,181 @@
+//! CI perf-regression gate: diffs a fresh `BENCH_main.json` against the
+//! committed baseline snapshot and fails (exit code 1) when any
+//! (program, analysis) row regressed by more than the tolerance in
+//! wall-clock time or propagation count.
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [--time-tol PCT] [--prop-tol PCT]
+//! ```
+//!
+//! Defaults: 10% for both, per the roadmap's CI perf-tracking item. The
+//! tolerances can also be set via `CSC_DIFF_TIME_TOL` / `CSC_DIFF_PROP_TOL`
+//! (flags win). Propagation counts are deterministic, so their check is
+//! exact modulo the tolerance; wall-clock is machine-dependent, so the
+//! time tolerance is only meaningful against a baseline recorded on
+//! comparable hardware (CI compares runner against runner via the cached
+//! snapshot, and regenerates the baseline when the cache rotates).
+//!
+//! Rows that timed out (`completed: false`) are compared on completion
+//! status only: a row that completed in the baseline but times out fresh
+//! is always a failure; a row that was already timed out is skipped.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed snapshot row.
+#[derive(Clone, Debug)]
+struct Row {
+    time_secs: f64,
+    completed: bool,
+    propagations: u64,
+}
+
+/// Extracts `"key": <value>` from a single JSON row line. The snapshot is
+/// machine-written with one row per line (see `table_main`), so a scanning
+/// parser is enough — no external JSON dependency in the container.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse(path: &str) -> BTreeMap<(String, String), Row> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with("{\"program\"") {
+            continue;
+        }
+        let program = field(line, "program").expect("program field").to_owned();
+        let analysis = field(line, "analysis").expect("analysis field").to_owned();
+        let row = Row {
+            time_secs: field(line, "time_secs")
+                .and_then(|v| v.parse().ok())
+                .expect("time_secs field"),
+            completed: field(line, "completed") == Some("true"),
+            propagations: field(line, "propagations")
+                .and_then(|v| v.parse().ok())
+                .expect("propagations field"),
+        };
+        rows.insert((program, analysis), row);
+    }
+    assert!(!rows.is_empty(), "no rows parsed from {path}");
+    rows
+}
+
+fn tol(flag_val: Option<f64>, env: &str, default: f64) -> f64 {
+    flag_val
+        .or_else(|| std::env::var(env).ok().and_then(|s| s.parse().ok()))
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let (mut time_flag, mut prop_flag) = (None, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // A present-but-unparsable tolerance must be a hard error: CI
+            // relies on these flags to select which gate applies, and a
+            // silent fallback to the default would gate wall-clock against
+            // a snapshot from incomparable hardware.
+            flag @ ("--time-tol" | "--prop-tol") => {
+                let Some(value) = it.next() else {
+                    eprintln!("bench_diff: {flag} requires a percentage value");
+                    return ExitCode::from(2);
+                };
+                let Ok(pct) = value.parse::<f64>() else {
+                    eprintln!("bench_diff: cannot parse {flag} value {value:?} as a percentage");
+                    return ExitCode::from(2);
+                };
+                if flag == "--time-tol" {
+                    time_flag = Some(pct);
+                } else {
+                    prop_flag = Some(pct);
+                }
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [baseline_path, fresh_path] = paths[..] else {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <fresh.json> [--time-tol PCT] [--prop-tol PCT]"
+        );
+        return ExitCode::from(2);
+    };
+    let time_tol = tol(time_flag, "CSC_DIFF_TIME_TOL", 10.0);
+    let prop_tol = tol(prop_flag, "CSC_DIFF_PROP_TOL", 10.0);
+
+    let baseline = parse(baseline_path);
+    let fresh = parse(fresh_path);
+    let mut failures = 0usize;
+    println!(
+        "{:<11} {:<9} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9}",
+        "Program",
+        "Analysis",
+        "base-time",
+        "fresh-time",
+        "Δtime%",
+        "base-props",
+        "fresh-props",
+        "Δprops%"
+    );
+    for ((program, analysis), base) in &baseline {
+        let Some(new) = fresh.get(&(program.clone(), analysis.clone())) else {
+            println!("{program:<11} {analysis:<9} MISSING from fresh snapshot");
+            failures += 1;
+            continue;
+        };
+        if !base.completed {
+            println!("{program:<11} {analysis:<9} skipped (baseline timed out)");
+            continue;
+        }
+        if !new.completed {
+            println!("{program:<11} {analysis:<9} REGRESSION: now times out");
+            failures += 1;
+            continue;
+        }
+        let dt = (new.time_secs - base.time_secs) / base.time_secs.max(1e-9) * 100.0;
+        let dp = (new.propagations as f64 - base.propagations as f64)
+            / (base.propagations as f64).max(1.0)
+            * 100.0;
+        let time_bad = dt > time_tol;
+        let prop_bad = dp > prop_tol;
+        println!(
+            "{program:<11} {analysis:<9} {:>11.3}s {:>11.3}s {:>8.1}% {:>14} {:>14} {:>8.1}%{}",
+            base.time_secs,
+            new.time_secs,
+            dt,
+            base.propagations,
+            new.propagations,
+            dp,
+            match (time_bad, prop_bad) {
+                (true, true) => "  <- TIME+PROP REGRESSION",
+                (true, false) => "  <- TIME REGRESSION",
+                (false, true) => "  <- PROP REGRESSION",
+                (false, false) => "",
+            }
+        );
+        failures += usize::from(time_bad) + usize::from(prop_bad);
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            println!("{:<11} {:<9} new row (no baseline)", key.0, key.1);
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_diff: {failures} regression(s) beyond tolerance \
+             (time {time_tol}%, propagations {prop_tol}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_diff: no regressions beyond tolerance (time {time_tol}%, propagations {prop_tol}%)"
+    );
+    ExitCode::SUCCESS
+}

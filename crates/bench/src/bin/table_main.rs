@@ -16,13 +16,17 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
         out,
         "    {{\"program\": \"{program}\", \"analysis\": \"{}\", \
          \"time_secs\": {:.6}, \"completed\": {}, \
-         \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}",
+         \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}, \
+         \"scc_runs\": {}, \"sccs_collapsed\": {}, \"ptrs_collapsed\": {}",
         row.label,
         row.outcome.total_time.as_secs_f64(),
         row.outcome.completed(),
         stats.propagations,
         stats.edges,
         stats.pointers,
+        stats.scc_runs,
+        stats.sccs_collapsed,
+        stats.ptrs_collapsed,
     );
     if let Some(m) = &row.metrics {
         let _ = write!(

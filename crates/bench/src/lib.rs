@@ -14,7 +14,9 @@
 
 use std::time::Duration;
 
-use csc_core::{run_analysis, Analysis, AnalysisOutcome, Budget, PrecisionMetrics};
+use csc_core::{
+    run_analysis_opts, Analysis, AnalysisOutcome, Budget, PrecisionMetrics, SolverOptions,
+};
 use csc_ir::Program;
 
 /// The analysis budget, from `CSC_BUDGET_SECS` (default 8s).
@@ -33,6 +35,16 @@ pub fn budget_label() -> String {
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(8);
     format!(">{secs}s")
+}
+
+/// Engine options for bench runs: SCC-collapsed propagation is on by
+/// default; `CSC_SCC=0` (or `off`) selects the uncollapsed reference
+/// engine for A/B comparisons.
+pub fn solver_options() -> SolverOptions {
+    match std::env::var("CSC_SCC").as_deref() {
+        Ok("0") | Ok("off") => SolverOptions::no_collapse(),
+        _ => SolverOptions::default(),
+    }
 }
 
 /// The five analyses of the paper's comparison, in table order.
@@ -59,7 +71,7 @@ pub struct Row<'p> {
 /// Runs one analysis and computes metrics unless it timed out.
 pub fn run_row(program: &Program, analysis: Analysis) -> Row<'_> {
     let label = analysis.label();
-    let outcome = run_analysis(program, analysis, budget());
+    let outcome = run_analysis_opts(program, analysis, budget(), solver_options());
     let metrics = outcome
         .completed()
         .then(|| PrecisionMetrics::compute(&outcome.result));

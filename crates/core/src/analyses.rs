@@ -8,7 +8,7 @@ use csc_ir::{MethodId, Program};
 
 use crate::context::{CallSiteSelector, CiSelector, ObjSelector, SelectiveSelector, TypeSelector};
 use crate::csc::{CscConfig, CscStats, CutShortcut};
-use crate::solver::{Budget, NoPlugin, PtaResult, Solver};
+use crate::solver::{Budget, NoPlugin, PtaResult, Solver, SolverOptions};
 use crate::zipper::{ZipperE, ZipperOptions};
 
 /// The analyses compared in the paper's evaluation (§5).
@@ -77,15 +77,30 @@ impl AnalysisOutcome<'_> {
 
 /// Runs one analysis on a program under a budget (the paper uses 2 hours;
 /// benchmarks here use seconds). For Zipper-e the budget covers pre and main
-/// analysis together, as in the paper.
+/// analysis together, as in the paper. Uses the default [`SolverOptions`]
+/// (SCC-collapsed propagation enabled).
 pub fn run_analysis<'p>(
     program: &'p Program,
     analysis: Analysis,
     budget: Budget,
 ) -> AnalysisOutcome<'p> {
+    run_analysis_opts(program, analysis, budget, SolverOptions::default())
+}
+
+/// [`run_analysis`] with explicit engine options. Every solver the analysis
+/// spawns (including Zipper-e's and the hybrid's pre-analysis) runs under
+/// the same options, so a differential comparison toggling
+/// [`SolverOptions::collapse_sccs`] covers the whole pipeline.
+pub fn run_analysis_opts<'p>(
+    program: &'p Program,
+    analysis: Analysis,
+    budget: Budget,
+    opts: SolverOptions,
+) -> AnalysisOutcome<'p> {
     match analysis {
         Analysis::Ci => {
-            let (result, _) = Solver::new(program, CiSelector, NoPlugin, budget).solve();
+            let (result, _) =
+                Solver::with_options(program, CiSelector, NoPlugin, budget, opts).solve();
             let total_time = result.elapsed;
             AnalysisOutcome {
                 result,
@@ -96,7 +111,8 @@ pub fn run_analysis<'p>(
             }
         }
         Analysis::KObj(k) => {
-            let (result, _) = Solver::new(program, ObjSelector::new(k), NoPlugin, budget).solve();
+            let (result, _) =
+                Solver::with_options(program, ObjSelector::new(k), NoPlugin, budget, opts).solve();
             let total_time = result.elapsed;
             AnalysisOutcome {
                 result,
@@ -107,7 +123,8 @@ pub fn run_analysis<'p>(
             }
         }
         Analysis::KType(k) => {
-            let (result, _) = Solver::new(program, TypeSelector::new(k), NoPlugin, budget).solve();
+            let (result, _) =
+                Solver::with_options(program, TypeSelector::new(k), NoPlugin, budget, opts).solve();
             let total_time = result.elapsed;
             AnalysisOutcome {
                 result,
@@ -119,7 +136,8 @@ pub fn run_analysis<'p>(
         }
         Analysis::KCallSite(k) => {
             let (result, _) =
-                Solver::new(program, CallSiteSelector::new(k), NoPlugin, budget).solve();
+                Solver::with_options(program, CallSiteSelector::new(k), NoPlugin, budget, opts)
+                    .solve();
             let total_time = result.elapsed;
             AnalysisOutcome {
                 result,
@@ -130,18 +148,20 @@ pub fn run_analysis<'p>(
             }
         }
         Analysis::ZipperE => {
-            let opts = ZipperOptions::default();
-            let (pre, _) = Solver::new(program, CiSelector, NoPlugin, budget).solve();
+            let zopts = ZipperOptions::default();
+            let (pre, _) =
+                Solver::with_options(program, CiSelector, NoPlugin, budget, opts).solve();
             let pre_time = pre.elapsed;
-            let zipper = ZipperE::select(program, &pre, opts);
+            let zipper = ZipperE::select(program, &pre, zopts);
             let selected = zipper.selected.clone();
             let main_budget = Budget {
                 time: budget.time.map(|t| t.saturating_sub(pre_time)),
                 max_propagations: budget.max_propagations,
             };
             let selector =
-                SelectiveSelector::new(ObjSelector::new(opts.k), zipper.selected, "Zipper-e");
-            let (result, _) = Solver::new(program, selector, NoPlugin, main_budget).solve();
+                SelectiveSelector::new(ObjSelector::new(zopts.k), zipper.selected, "Zipper-e");
+            let (result, _) =
+                Solver::with_options(program, selector, NoPlugin, main_budget, opts).solve();
             let total_time = pre_time + result.elapsed;
             AnalysisOutcome {
                 result,
@@ -151,12 +171,16 @@ pub fn run_analysis<'p>(
                 selected: Some(selected),
             }
         }
-        Analysis::CutShortcut => {
-            run_analysis(program, Analysis::CutShortcutWith(CscConfig::all()), budget)
-        }
+        Analysis::CutShortcut => run_analysis_opts(
+            program,
+            Analysis::CutShortcutWith(CscConfig::all()),
+            budget,
+            opts,
+        ),
         Analysis::CutShortcutWith(cfg) => {
             let plugin = CutShortcut::new(program, cfg);
-            let (mut result, plugin) = Solver::new(program, CiSelector, plugin, budget).solve();
+            let (mut result, plugin) =
+                Solver::with_options(program, CiSelector, plugin, budget, opts).solve();
             result.analysis = "csc".to_owned();
             let total_time = result.elapsed;
             AnalysisOutcome {
@@ -169,10 +193,11 @@ pub fn run_analysis<'p>(
         }
         Analysis::CscHybrid => {
             // Phase 1: CI pre-analysis + Zipper-e selection, as usual.
-            let opts = ZipperOptions::default();
-            let (pre, _) = Solver::new(program, CiSelector, NoPlugin, budget).solve();
+            let zopts = ZipperOptions::default();
+            let (pre, _) =
+                Solver::with_options(program, CiSelector, NoPlugin, budget, opts).solve();
             let pre_time = pre.elapsed;
-            let zipper = ZipperE::select(program, &pre, opts);
+            let zipper = ZipperE::select(program, &pre, zopts);
             // Phase 2: subtract the methods Cut-Shortcut already handles
             // (the paper's §3.4 suggestion) and run the plugin together
             // with the restricted selective selector.
@@ -185,9 +210,10 @@ pub fn run_analysis<'p>(
                 max_propagations: budget.max_propagations,
             };
             let selector =
-                SelectiveSelector::new(ObjSelector::new(opts.k), selected.clone(), "CSC+sel");
+                SelectiveSelector::new(ObjSelector::new(zopts.k), selected.clone(), "CSC+sel");
             let plugin = CutShortcut::new(program, cfg);
-            let (mut result, plugin) = Solver::new(program, selector, plugin, main_budget).solve();
+            let (mut result, plugin) =
+                Solver::with_options(program, selector, plugin, main_budget, opts).solve();
             result.analysis = "csc-hybrid".to_owned();
             let total_time = pre_time + result.elapsed;
             AnalysisOutcome {

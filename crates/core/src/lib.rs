@@ -46,12 +46,13 @@ pub mod context;
 pub mod csc;
 pub mod fx;
 pub mod pts;
+pub mod scc;
 pub mod solver;
 pub mod zipper;
 
 mod analyses;
 
-pub use analyses::{run_analysis, Analysis, AnalysisOutcome};
+pub use analyses::{run_analysis, run_analysis_opts, Analysis, AnalysisOutcome};
 pub use clients::PrecisionMetrics;
 pub use context::{
     CallInfo, CallSiteSelector, CiSelector, ContextSelector, CtxElem, CtxId, CtxInterner,
@@ -59,8 +60,9 @@ pub use context::{
 };
 pub use csc::{pattern_methods, CscConfig, CscStats, CutShortcut};
 pub use pts::PointsToSet;
+pub use scc::OnlineScc;
 pub use solver::{
     Budget, CsObjId, EdgeKind, Event, NoPlugin, Plugin, PtaResult, PtrId, PtrKey, ShortcutKind,
-    SolveStatus, Solver, SolverState, SolverStats,
+    SolveStatus, Solver, SolverOptions, SolverState, SolverStats,
 };
 pub use zipper::ZipperE;

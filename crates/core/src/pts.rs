@@ -205,15 +205,13 @@ impl PointsToSet {
     /// elements (in ascending order) into `delta` when one is supplied, and
     /// returns whether the set changed.
     fn union_impl(&mut self, other: &PointsToSet, mut delta: Option<&mut Vec<u32>>) -> bool {
-        if other.is_empty() {
+        if other.is_empty() || other.is_subset(self) {
+            // No-op union: the common case at fixpoint, kept allocation-free
+            // for every representation pairing.
             return false;
         }
         match (&mut self.repr, &other.repr) {
             (Repr::Small(sv), Repr::Small(ov)) => {
-                // Fast path: all of `other` already present.
-                if ov.iter().all(|e| sv.binary_search(e).is_ok()) {
-                    return false;
-                }
                 let mut merged = Vec::with_capacity(sv.len() + ov.len());
                 let (mut i, mut j) = (0usize, 0usize);
                 while i < sv.len() && j < ov.len() {
@@ -303,6 +301,25 @@ impl PointsToSet {
         match &self.repr {
             Repr::Small(v) => Iter(IterInner::Small(v.iter())),
             Repr::Bits(b) => Iter(IterInner::Bits(b.iter())),
+        }
+    }
+
+    /// Whether every element of `self` is in `other` — word-parallel when
+    /// both sides are bitmaps, early-exiting at the first missing element
+    /// otherwise. This is the union fast path: most unions a fixpoint
+    /// solver performs are no-ops, and a subset test answers that without
+    /// touching the merge machinery.
+    pub fn is_subset(&self, other: &PointsToSet) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Bits(a), Repr::Bits(b)) => a
+                .words
+                .iter()
+                .enumerate()
+                .all(|(i, &w)| w & !b.words.get(i).copied().unwrap_or(0) == 0),
+            _ => self.iter().all(|e| other.contains(e)),
         }
     }
 
@@ -505,6 +522,21 @@ mod tests {
             assert_eq!(changed_delta, changed_with);
             assert_eq!(via_delta, via_with);
         }
+    }
+
+    #[test]
+    fn is_subset_across_representations() {
+        let small: PointsToSet = [2, 4].into_iter().collect();
+        let big: PointsToSet = (0..200u32).step_by(2).collect();
+        let other: PointsToSet = [2, 5].into_iter().collect();
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(!other.is_subset(&big));
+        assert!(PointsToSet::new().is_subset(&small));
+        assert!(big.is_subset(&big));
+        let shifted: PointsToSet = (0..200u32).collect();
+        assert!(big.is_subset(&shifted));
+        assert!(!shifted.is_subset(&big));
     }
 
     #[test]

@@ -19,6 +19,35 @@
 //! [`PointsToSet`] as a per-source target set, and the worklist batches
 //! deltas per pointer — repeated `NewPointsTo` deltas targeting the same
 //! pointer coalesce into one pending set before fan-out.
+//!
+//! ## SCC-collapsed propagation
+//!
+//! Assign-cycles (SCCs of *unfiltered* copy edges — assigns, parameters,
+//! returns, shortcut edges; everything but cast-filtered edges) are
+//! periodically collapsed onto a representative pointer: a union-find
+//! ([`crate::scc::UnionFind`]) redirects the shared points-to set, the
+//! successor lists, and the pending-delta accumulator of every member to
+//! the representative, so a delta entering the cycle costs one union
+//! instead of one trip around the cycle. Collapsing is *precision-neutral*
+//! and observationally transparent:
+//!
+//! * statement processing (`[Load]`/`[Store]`/`[Call]`) and `NewPointsTo`
+//!   events still happen per member — when a representative's set grows,
+//!   the delta fans out to every member's statements, so plugins (the
+//!   Cut-Shortcut obligations in particular) see the same logical growth
+//!   per pointer as the uncollapsed solver;
+//! * PFG edges are deduplicated on their *original* endpoints, `NewEdge`
+//!   events carry original endpoints, and `has_edge` answers on original
+//!   endpoints — only the physical successor lists live at representatives;
+//! * projections read through the union-find, so results are fanned back
+//!   out to members at projection time.
+//!
+//! Cycles are detected offline-per-epoch (Nuutila-style): after every
+//! `collapse_epoch` unfiltered-edge insertions a Tarjan condensation runs
+//! over the current representatives, which keeps the scheme correct under
+//! edges that plugins (cut/shortcut) insert mid-solve. The
+//! `tests/differential.rs` harness asserts bit-identical results with
+//! collapsing on and off for every suite program × analysis configuration.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -204,7 +233,7 @@ impl Budget {
 pub struct SolverStats {
     /// Worklist propagations with a non-empty delta.
     pub propagations: u64,
-    /// PFG edges added.
+    /// PFG edges added (logical edges, counted on original endpoints).
     pub edges: u64,
     /// Call-graph edges added.
     pub call_edges: u64,
@@ -214,6 +243,55 @@ pub struct SolverStats {
     pub pointers: u64,
     /// Distinct context-qualified objects interned.
     pub objects: u64,
+    /// SCC condensation epochs executed.
+    pub scc_runs: u64,
+    /// Nontrivial assign-SCCs collapsed across all epochs.
+    pub sccs_collapsed: u64,
+    /// Pointers merged into another representative.
+    pub ptrs_collapsed: u64,
+}
+
+/// Engine tuning knobs, independent of the analysis policy (context
+/// selector / plugin). The default enables SCC-collapsed propagation with
+/// an adaptive epoch length.
+#[derive(Copy, Clone, Debug)]
+pub struct SolverOptions {
+    /// Collapse assign-cycles (SCCs of unfiltered copy edges) onto
+    /// representative pointers during solving. Precision-neutral — the
+    /// differential harness (`crates/core/tests/differential.rs`) asserts
+    /// bit-identical projected results either way.
+    pub collapse_sccs: bool,
+    /// Unfiltered-copy-edge insertions between condensation epochs. `None`
+    /// picks an adaptive threshold from the current pointer count; tests
+    /// use small values to stress merge paths on tiny programs.
+    pub collapse_epoch: Option<u32>,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            collapse_sccs: true,
+            collapse_epoch: None,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Cycle collapsing disabled (the uncollapsed reference engine).
+    pub fn no_collapse() -> Self {
+        SolverOptions {
+            collapse_sccs: false,
+            ..SolverOptions::default()
+        }
+    }
+
+    /// Collapsing with a fixed epoch length (testing knob).
+    pub fn with_epoch(epoch: u32) -> Self {
+        SolverOptions {
+            collapse_sccs: true,
+            collapse_epoch: Some(epoch),
+        }
+    }
 }
 
 /// Per-variable static usage index (which loads/stores/calls have the
@@ -270,15 +348,30 @@ pub struct SolverState<'p> {
     obj_table: FxHashMap<(CtxId, ObjId), CsObjId>,
     obj_keys: Vec<(CtxId, ObjId)>,
 
+    /// Points-to sets, stored at SCC representatives; merged members keep
+    /// an empty slot and read through [`SolverState::repr`].
     pts: Vec<PointsToSet>,
     /// Successors with an optional cast filter: only objects whose class
     /// is a subtype of the filter class propagate along the edge
-    /// (`checkcast` semantics, as in Tai-e and Doop).
+    /// (`checkcast` semantics, as in Tai-e and Doop). Lists live at SCC
+    /// representatives; stored targets may be stale (merged away) and are
+    /// re-canonicalized at enqueue time and at each condensation epoch.
     succ: Vec<Vec<(PtrId, Option<csc_ir::ClassId>)>>,
-    /// Per-source PFG edge-target sets (deduplication). Hash sets keep the
-    /// memory proportional to the edge count (a bitmap here would scale
-    /// with the *maximum* target id per hub source).
+    /// Per-source *logical* PFG edge-target sets, keyed by original
+    /// endpoints (deduplication + `has_edge`; identical with collapsing on
+    /// or off). Hash sets keep the memory proportional to the edge count
+    /// (a bitmap here would scale with the *maximum* target id per hub
+    /// source).
     edge_targets: Vec<FxHashSet<u32>>,
+
+    /// Representative index for SCC-collapsed propagation.
+    reps: crate::scc::UnionFind,
+    /// Member lists (ascending, representative first) for collapsed
+    /// representatives only; uncollapsed pointers have no entry.
+    members: FxHashMap<u32, Vec<u32>>,
+    /// Unfiltered copy edges inserted since the last condensation epoch.
+    copy_edges_since_collapse: u32,
+    opts: SolverOptions,
 
     /// Batched worklist: per-pointer pending delta accumulators plus the
     /// FIFO of pointers with a non-empty accumulator.
@@ -308,7 +401,7 @@ pub struct SolverState<'p> {
 }
 
 impl<'p> SolverState<'p> {
-    fn new(program: &'p Program, budget: Budget) -> Self {
+    fn new(program: &'p Program, budget: Budget, opts: SolverOptions) -> Self {
         SolverState {
             program,
             interner: CtxInterner::new(),
@@ -322,6 +415,10 @@ impl<'p> SolverState<'p> {
             pts: Vec::new(),
             succ: Vec::new(),
             edge_targets: Vec::new(),
+            reps: crate::scc::UnionFind::new(),
+            members: FxHashMap::default(),
+            copy_edges_since_collapse: 0,
+            opts,
             queue: VecDeque::new(),
             pending: Vec::new(),
             events: VecDeque::new(),
@@ -348,6 +445,7 @@ impl<'p> SolverState<'p> {
         self.succ.push(Vec::new());
         self.edge_targets.push(FxHashSet::default());
         self.pending.push(PointsToSet::new());
+        self.reps.push();
         self.stats.pointers += 1;
         id
     }
@@ -423,9 +521,17 @@ impl<'p> SolverState<'p> {
         self.obj_keys.len()
     }
 
-    /// Current points-to set of a pointer.
+    /// Canonical representative of a pointer: identity unless the pointer
+    /// was merged into an assign-SCC, in which case the SCC's elected
+    /// representative is returned.
+    pub fn repr(&self, p: PtrId) -> PtrId {
+        PtrId(self.reps.find(p.0))
+    }
+
+    /// Current points-to set of a pointer (read through the representative
+    /// indirection — members of a collapsed SCC share one set).
     pub fn pt(&self, p: PtrId) -> &PointsToSet {
-        &self.pts[p.0 as usize]
+        &self.pts[self.reps.find(p.0) as usize]
     }
 
     /// Looks up an already-interned pointer without creating it.
@@ -443,11 +549,13 @@ impl<'p> SolverState<'p> {
     // ---- worklist --------------------------------------------------------
 
     /// Queues a delta for a pointer, coalescing it with whatever is already
-    /// pending for that pointer.
+    /// pending for that pointer. Deltas accumulate at the pointer's SCC
+    /// representative.
     fn enqueue(&mut self, ptr: PtrId, objs: &PointsToSet) {
         if objs.is_empty() {
             return;
         }
+        let ptr = self.repr(ptr);
         let slot = &mut self.pending[ptr.0 as usize];
         let was_empty = slot.is_empty();
         slot.union_with(objs);
@@ -458,6 +566,7 @@ impl<'p> SolverState<'p> {
 
     /// Queues a single object for a pointer.
     fn enqueue_one(&mut self, ptr: PtrId, obj: u32) {
+        let ptr = self.repr(ptr);
         let slot = &mut self.pending[ptr.0 as usize];
         let was_empty = slot.is_empty();
         slot.insert(obj);
@@ -468,10 +577,17 @@ impl<'p> SolverState<'p> {
 
     // ---- mutation (also used by plugins) ----------------------------------
 
-    /// Adds a PFG edge (deduplicated). New edges immediately flush the
-    /// source's current points-to set to the target. Cast edges carry a
-    /// type filter (`checkcast` semantics): only objects assignable to the
-    /// cast target propagate, as in Tai-e and Doop.
+    /// Adds a PFG edge (deduplicated on its *original* endpoints). New
+    /// edges immediately flush the source's current points-to set to the
+    /// target. Cast edges carry a type filter (`checkcast` semantics): only
+    /// objects assignable to the cast target propagate, as in Tai-e and
+    /// Doop.
+    ///
+    /// The physical successor entry lives at the source's SCC
+    /// representative; an edge whose endpoints are already in the same SCC
+    /// stays logical-only (the shared set makes propagation a no-op), but
+    /// is still counted, deduplicated, and delivered as a [`Event::NewEdge`]
+    /// so plugins observe the same PFG as the uncollapsed solver.
     pub fn add_edge(&mut self, src: PtrId, dst: PtrId, kind: EdgeKind) {
         if src == dst || !self.edge_targets[src.0 as usize].insert(dst.0) {
             return;
@@ -480,19 +596,24 @@ impl<'p> SolverState<'p> {
             EdgeKind::Cast(id) => self.program.cast(id).ty().as_class(),
             _ => None,
         };
-        self.succ[src.0 as usize].push((dst, filter));
         self.stats.edges += 1;
-        if !self.pts[src.0 as usize].is_empty() {
-            match filter {
-                None => {
-                    let pts = std::mem::take(&mut self.pts[src.0 as usize]);
-                    self.enqueue(dst, &pts);
-                    self.pts[src.0 as usize] = pts;
-                }
-                Some(_) => {
-                    let pts = self.pts[src.0 as usize].clone();
-                    let filtered = self.apply_filter(&pts, filter);
-                    self.enqueue(dst, &filtered);
+        let csrc = self.reps.find(src.0) as usize;
+        if csrc != self.reps.find(dst.0) as usize {
+            if filter.is_none() {
+                self.copy_edges_since_collapse += 1;
+            }
+            self.succ[csrc].push((dst, filter));
+            if !self.pts[csrc].is_empty() {
+                match filter {
+                    None => {
+                        let pts = std::mem::take(&mut self.pts[csrc]);
+                        self.enqueue(dst, &pts);
+                        self.pts[csrc] = pts;
+                    }
+                    Some(_) => {
+                        let filtered = self.apply_filter(&self.pts[csrc], filter);
+                        self.enqueue(dst, &filtered);
+                    }
                 }
             }
         }
@@ -677,7 +798,8 @@ impl<'p> SolverState<'p> {
         }
     }
 
-    /// Processes one worklist entry. Returns `false` when the budget is
+    /// Processes one worklist entry (always a representative — the queue is
+    /// canonicalized at pop time). Returns `false` when the budget is
     /// exhausted.
     fn step<S: ContextSelector, P: Plugin>(
         &mut self,
@@ -716,45 +838,80 @@ impl<'p> SolverState<'p> {
             }
         }
 
-        if let PtrKey::Var(ctx, v) = self.ptr_keys[ptr.0 as usize] {
-            // [Load]
-            for i in 0..self.uses.loads_with_base[v.index()].len() {
-                let l = self.uses.loads_with_base[v.index()][i];
-                let site = self.program.load(l);
-                let (lhs, field) = (site.lhs(), site.field());
-                let t = self.var_ptr(ctx, lhs);
-                for o in delta.iter() {
-                    let s = self.field_ptr(CsObjId(o), field);
-                    self.add_edge(s, t, EdgeKind::Load(l));
+        // Statement processing and events fan out to every member of a
+        // collapsed SCC — each member's loads/stores/calls must see the
+        // shared set's growth exactly as they would uncollapsed. The member
+        // list is taken out and restored around the loop (nothing inside
+        // statement processing can reach `members`; merges only happen
+        // between worklist steps), avoiding an O(|SCC|) clone per delta.
+        if let Some(group) = self.members.remove(&ptr.0) {
+            for &m in &group {
+                if let PtrKey::Var(ctx, v) = self.ptr_keys[m as usize] {
+                    self.process_var_stmts(selector, plugin, ctx, v, &delta);
                 }
             }
-            // [Store] (cut-aware)
-            for i in 0..self.uses.stores_with_base[v.index()].len() {
-                let st = self.uses.stores_with_base[v.index()][i];
-                if plugin.is_store_cut(st) {
-                    continue;
-                }
-                let site = self.program.store(st);
-                let (rhs, field) = (site.rhs(), site.field());
-                let s = self.var_ptr(ctx, rhs);
-                for o in delta.iter() {
-                    let t = self.field_ptr(CsObjId(o), field);
-                    self.add_edge(s, t, EdgeKind::Store(st));
+            if self.emit_events {
+                for &m in &group {
+                    self.events.push_back(Event::NewPointsTo {
+                        ptr: PtrId(m),
+                        delta: delta.clone(),
+                    });
                 }
             }
-            // [Call]
-            for i in 0..self.uses.calls_with_recv[v.index()].len() {
-                let site = self.uses.calls_with_recv[v.index()][i];
-                for o in delta.iter() {
-                    self.process_instance_call(selector, plugin, ctx, site, CsObjId(o));
-                }
+            self.members.insert(ptr.0, group);
+        } else {
+            if let PtrKey::Var(ctx, v) = self.ptr_keys[ptr.0 as usize] {
+                self.process_var_stmts(selector, plugin, ctx, v, &delta);
             }
-        }
-
-        if self.emit_events {
-            self.events.push_back(Event::NewPointsTo { ptr, delta });
+            if self.emit_events {
+                self.events.push_back(Event::NewPointsTo { ptr, delta });
+            }
         }
         true
+    }
+
+    /// The `[Load]` / `[Store]` / `[Call]` rules for one variable whose
+    /// points-to set grew by `delta`.
+    fn process_var_stmts<S: ContextSelector, P: Plugin>(
+        &mut self,
+        selector: &S,
+        plugin: &P,
+        ctx: CtxId,
+        v: VarId,
+        delta: &PointsToSet,
+    ) {
+        // [Load]
+        for i in 0..self.uses.loads_with_base[v.index()].len() {
+            let l = self.uses.loads_with_base[v.index()][i];
+            let site = self.program.load(l);
+            let (lhs, field) = (site.lhs(), site.field());
+            let t = self.var_ptr(ctx, lhs);
+            for o in delta.iter() {
+                let s = self.field_ptr(CsObjId(o), field);
+                self.add_edge(s, t, EdgeKind::Load(l));
+            }
+        }
+        // [Store] (cut-aware)
+        for i in 0..self.uses.stores_with_base[v.index()].len() {
+            let st = self.uses.stores_with_base[v.index()][i];
+            if plugin.is_store_cut(st) {
+                continue;
+            }
+            let site = self.program.store(st);
+            let (rhs, field) = (site.rhs(), site.field());
+            let s = self.var_ptr(ctx, rhs);
+            for o in delta.iter() {
+                let t = self.field_ptr(CsObjId(o), field);
+                self.add_edge(s, t, EdgeKind::Store(st));
+            }
+        }
+        // [Call]
+        for i in 0..self.uses.calls_with_recv[v.index()].len() {
+            let site = self.uses.calls_with_recv[v.index()][i];
+            for o in delta.iter() {
+                self.process_instance_call(selector, plugin, ctx, site, CsObjId(o));
+            }
+        }
     }
 
     fn process_instance_call<S: ContextSelector, P: Plugin>(
@@ -796,6 +953,158 @@ impl<'p> SolverState<'p> {
         }
     }
 
+    // ---- SCC-collapsed propagation ----------------------------------------
+
+    /// Whether enough unfiltered copy edges accumulated to pay for a
+    /// condensation epoch. The adaptive threshold is geometric — the next
+    /// epoch waits for the edge count to grow by a constant fraction — so
+    /// the total condensation work stays `O((V + E) log E)` regardless of
+    /// how large the graph gets.
+    fn should_collapse(&self) -> bool {
+        if !self.opts.collapse_sccs || self.copy_edges_since_collapse == 0 {
+            return false;
+        }
+        let threshold = self
+            .opts
+            .collapse_epoch
+            .unwrap_or_else(|| (self.stats.edges as u32 / 2).max(4096));
+        self.copy_edges_since_collapse >= threshold
+    }
+
+    /// One condensation epoch: finds SCCs of the unfiltered copy subgraph
+    /// over the current representatives (offline Tarjan, Nuutila-style
+    /// re-run per epoch) and merges each nontrivial SCC onto its smallest
+    /// member.
+    ///
+    /// Merging unifies the shared points-to set, successor list, and
+    /// pending accumulator at the representative, then restores the
+    /// uncollapsed solver's observable behavior in two replay passes:
+    ///
+    /// 1. the unified set is flushed along every (rebuilt) outgoing edge —
+    ///    a member's edge may never have seen another member's elements;
+    /// 2. every member whose old set was a strict subset of the union gets
+    ///    per-member statement processing and a `NewPointsTo` event for the
+    ///    missing elements, exactly as if the elements had propagated to it
+    ///    around the cycle.
+    fn collapse_cycles<S: ContextSelector, P: Plugin>(&mut self, selector: &S, plugin: &P) {
+        self.copy_edges_since_collapse = 0;
+        self.stats.scc_runs += 1;
+        let n = self.ptr_keys.len();
+        // Canonical unfiltered adjacency over representatives.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for u in 0..n as u32 {
+            if !self.reps.is_rep(u) {
+                continue;
+            }
+            let mut out: Vec<u32> = Vec::new();
+            for &(t, filter) in &self.succ[u as usize] {
+                if filter.is_none() {
+                    let c = self.reps.find(t.0);
+                    if c != u {
+                        out.push(c);
+                    }
+                }
+            }
+            adj[u as usize] = out;
+        }
+        let mut catchups: Vec<(u32, PointsToSet)> = Vec::new();
+        let mut flush_reps: Vec<u32> = Vec::new();
+        for group in crate::scc::merge_groups(&self.reps, &adj) {
+            let rep = group[0];
+            self.stats.sccs_collapsed += 1;
+            self.stats.ptrs_collapsed += (group.len() - 1) as u64;
+            // Union the members' sets; remember each merged subgroup's old
+            // set so its missing elements can be replayed per member.
+            let mut union = PointsToSet::new();
+            let mut subgroups: Vec<(Vec<u32>, PointsToSet)> = Vec::with_capacity(group.len());
+            for &m in &group {
+                let old = std::mem::take(&mut self.pts[m as usize]);
+                let sub = self.members.remove(&m).unwrap_or_else(|| vec![m]);
+                union.union_with(&old);
+                subgroups.push((sub, old));
+            }
+            let mut all: Vec<u32> = Vec::new();
+            for (sub, mut old) in subgroups {
+                if let Some(delta) = old.union_delta(&union) {
+                    for &m in &sub {
+                        catchups.push((m, delta.clone()));
+                    }
+                }
+                all.extend(sub);
+            }
+            all.sort_unstable();
+            self.members.insert(rep, all);
+            self.pts[rep as usize] = union;
+            for &m in &group[1..] {
+                self.reps.set_parent(m, rep);
+            }
+            // Rebuild the representative's successor list: canonical
+            // targets, intra-SCC edges dropped (the shared set makes them
+            // no-ops), physical duplicates that earlier merges created
+            // removed. Dedup is per (target, filter) so a cast edge never
+            // shadows an unfiltered edge to the same target.
+            let mut new_succ: Vec<(PtrId, Option<csc_ir::ClassId>)> = Vec::new();
+            let mut seen: FxHashSet<(u32, Option<csc_ir::ClassId>)> = FxHashSet::default();
+            for &m in &group {
+                for (t, filter) in std::mem::take(&mut self.succ[m as usize]) {
+                    let c = self.reps.find(t.0);
+                    if c != rep && seen.insert((c, filter)) {
+                        new_succ.push((PtrId(c), filter));
+                    }
+                }
+            }
+            self.succ[rep as usize] = new_succ;
+            // Merge the pending accumulators; requeue the representative if
+            // a member (but not the representative itself) was queued.
+            let mut pend = std::mem::take(&mut self.pending[rep as usize]);
+            let rep_was_queued = !pend.is_empty();
+            for &m in &group[1..] {
+                let p = std::mem::take(&mut self.pending[m as usize]);
+                pend.union_with(&p);
+            }
+            if !pend.is_empty() {
+                if !rep_was_queued {
+                    self.queue.push_back(PtrId(rep));
+                }
+                self.pending[rep as usize] = pend;
+            }
+            flush_reps.push(rep);
+        }
+        self.reps.flatten();
+
+        // Replay pass 1: flush the unified sets along the rebuilt edges.
+        for rep in flush_reps {
+            if self.pts[rep as usize].is_empty() {
+                continue;
+            }
+            let succ = self.succ[rep as usize].clone();
+            let pts = std::mem::take(&mut self.pts[rep as usize]);
+            for (t, filter) in succ {
+                match filter {
+                    None => self.enqueue(t, &pts),
+                    Some(_) => {
+                        let out = self.apply_filter(&pts, filter);
+                        self.enqueue(t, &out);
+                    }
+                }
+            }
+            self.pts[rep as usize] = pts;
+        }
+        // Replay pass 2: per-member catch-up for elements a member had not
+        // seen before its set was unified.
+        for (m, delta) in catchups {
+            if let PtrKey::Var(ctx, v) = self.ptr_keys[m as usize] {
+                self.process_var_stmts(selector, plugin, ctx, v, &delta);
+            }
+            if self.emit_events {
+                self.events.push_back(Event::NewPointsTo {
+                    ptr: PtrId(m),
+                    delta,
+                });
+            }
+        }
+    }
+
     // ---- context-insensitive projections (used by clients) ----------------
 
     /// Union of `pt(c:v)` over all contexts `c`, projected to allocation
@@ -806,7 +1115,9 @@ impl<'p> SolverState<'p> {
         for (i, key) in self.ptr_keys.iter().enumerate() {
             if let PtrKey::Var(_, var) = key {
                 if *var == v {
-                    for o in self.pts[i].iter() {
+                    // Fan collapsed members back out to their
+                    // representative's shared set at projection time.
+                    for o in self.pts[self.reps.find(i as u32) as usize].iter() {
                         out.push(self.obj_keys[o as usize].1);
                     }
                 }
@@ -851,10 +1162,23 @@ pub struct PtaResult<'p> {
 }
 
 impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
-    /// Creates a solver for `program` with the given policy and plugin.
+    /// Creates a solver for `program` with the given policy and plugin,
+    /// using the default [`SolverOptions`].
     pub fn new(program: &'p Program, selector: S, plugin: P, budget: Budget) -> Self {
+        Self::with_options(program, selector, plugin, budget, SolverOptions::default())
+    }
+
+    /// Creates a solver with explicit engine options (e.g. SCC collapsing
+    /// disabled for differential testing).
+    pub fn with_options(
+        program: &'p Program,
+        selector: S,
+        plugin: P,
+        budget: Budget,
+        opts: SolverOptions,
+    ) -> Self {
         Solver {
-            state: SolverState::new(program, budget),
+            state: SolverState::new(program, budget, opts),
             selector,
             plugin,
         }
@@ -873,7 +1197,13 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
             .add_reachable(&self.selector, &self.plugin, CtxId::EMPTY, entry);
         let mut status = SolveStatus::Completed;
         loop {
+            if self.state.should_collapse() {
+                self.state.collapse_cycles(&self.selector, &self.plugin);
+            }
             if let Some(ptr) = self.state.queue.pop_front() {
+                // Canonicalize: the pointer may have been merged into an
+                // SCC after it was queued.
+                let ptr = self.state.repr(ptr);
                 let incoming = std::mem::take(&mut self.state.pending[ptr.0 as usize]);
                 if !self.state.step(&self.selector, &self.plugin, ptr, incoming) {
                     status = SolveStatus::Timeout;

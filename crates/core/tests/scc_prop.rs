@@ -1,0 +1,125 @@
+//! Property tests for the online SCC structure behind cycle-collapsed
+//! propagation: random digraphs, arbitrary interleavings of edge
+//! insertions and queries, checked against a naive offline reference model
+//! (transitive-closure condensation — `u` and `v` share an SCC iff each
+//! reaches the other).
+
+use csc_core::OnlineScc;
+use proptest::prelude::*;
+
+/// Transitive closure over `n` nodes (Floyd–Warshall on booleans): the
+/// clearly-correct reference the online structure must match.
+fn closure(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<bool>> {
+    let mut r = vec![vec![false; n]; n];
+    for (i, row) in r.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    for &(u, v) in edges {
+        r[u as usize][v as usize] = true;
+    }
+    for k in 0..n {
+        let row_k = r[k].clone();
+        for row in r.iter_mut() {
+            if row[k] {
+                row.iter_mut()
+                    .zip(&row_k)
+                    .for_each(|(dst, &via_k)| *dst |= via_k);
+            }
+        }
+    }
+    r
+}
+
+/// Asserts the online partition over `n` nodes equals the reference
+/// partition of `edges`, and that every representative is the smallest
+/// member of its SCC (the deterministic election the solver relies on).
+fn assert_partition_matches(scc: &mut OnlineScc, n: usize, edges: &[(u32, u32)]) {
+    let reach = closure(n, edges);
+    for u in 0..n as u32 {
+        let mut min_member = u;
+        for v in 0..n as u32 {
+            let same_ref = reach[u as usize][v as usize] && reach[v as usize][u as usize];
+            assert_eq!(
+                scc.same_component(u, v),
+                same_ref,
+                "nodes {u} and {v}: online/offline disagree on edges {edges:?}"
+            );
+            if same_ref {
+                min_member = min_member.min(v);
+            }
+        }
+        assert_eq!(
+            scc.repr(u),
+            min_member,
+            "node {u}: representative must be the smallest SCC member"
+        );
+    }
+}
+
+proptest! {
+    /// After *every* insertion of a random edge stream, with queries
+    /// interleaved (each `assert_partition_matches` call queries all
+    /// pairs, flipping the dirty bit at arbitrary points of the stream),
+    /// the online partition equals offline condensation of the prefix.
+    #[test]
+    fn online_matches_offline_after_every_insertion(
+        n in 2usize..16,
+        raw in proptest::collection::vec((0u32..1000, 0u32..1000), 1..40),
+        query_every in 1usize..5,
+    ) {
+        let edges: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let mut scc = OnlineScc::with_nodes(n);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            scc.add_edge(u, v);
+            if i % query_every == 0 {
+                assert_partition_matches(&mut scc, n, &edges[..=i]);
+            }
+        }
+        assert_partition_matches(&mut scc, n, &edges);
+    }
+
+    /// Insertion order must not matter: the final partition of a shuffled
+    /// edge stream equals the partition of the sorted stream.
+    #[test]
+    fn partition_is_order_independent(
+        n in 2usize..14,
+        raw in proptest::collection::vec((0u32..1000, 0u32..1000), 1..30),
+        rot in 0usize..29,
+    ) {
+        let edges: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let mut rotated = edges.clone();
+        rotated.rotate_left(rot % edges.len());
+        let mut a = OnlineScc::with_nodes(n);
+        let mut b = OnlineScc::with_nodes(n);
+        for &(u, v) in &edges {
+            a.add_edge(u, v);
+        }
+        for &(u, v) in &rotated {
+            b.add_edge(u, v);
+        }
+        for u in 0..n as u32 {
+            prop_assert_eq!(a.repr(u), b.repr(u));
+        }
+    }
+
+    /// Dense graphs collapse completely: once every ordered pair is an
+    /// edge, all nodes share one SCC with representative 0.
+    #[test]
+    fn complete_digraph_collapses_to_one(n in 2usize..10) {
+        let mut scc = OnlineScc::with_nodes(n);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                scc.add_edge(u, v);
+            }
+        }
+        for u in 0..n as u32 {
+            prop_assert_eq!(scc.repr(u), 0);
+        }
+    }
+}

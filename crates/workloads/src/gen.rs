@@ -12,7 +12,11 @@
 //! * *select scenarios* — local-flow utility methods (the Figure 5 shape);
 //! * *chain scenarios* — deep static call chains whose merge points are
 //!   **not** covered by any Cut-Shortcut pattern, keeping the comparison
-//!   against conventional context sensitivity honest.
+//!   against conventional context sensitivity honest;
+//! * *cyclic flows* — local assign rings and mutually recursive relay
+//!   pairs whose parameters and returns form assign-cycles in the pointer
+//!   flow graph, like real programs' recursion and swap idioms. These are
+//!   what the solver's SCC-collapsed propagation targets.
 //!
 //! Every scenario retrieves values back, casts them to the scenario's
 //! concrete data class (#fail-cast), and makes virtual `tag()` calls on
@@ -63,6 +67,14 @@ pub struct GenConfig {
     /// live in one class, which is precisely what separates 2type (merges
     /// them) from 2obj (distinguishes the receiver objects).
     pub factory_prob: f64,
+    /// Mutually recursive relay pairs in `Util`: each pair's parameters
+    /// and call-result locals form assign-cycles across the two methods,
+    /// the way real recursion does. `0` disables them.
+    pub cycle_groups: usize,
+    /// Length of the local assign ring emitted in field scenarios
+    /// (`ring0 = v; ring1 = ring0; …; ring0 = ring_last` — a pure copy
+    /// cycle). Values below 2 disable rings.
+    pub ring_len: usize,
 }
 
 impl Default for GenConfig {
@@ -80,6 +92,8 @@ impl Default for GenConfig {
             loop_iters: 3,
             registry_every: 3,
             factory_prob: 0.5,
+            cycle_groups: 2,
+            ring_len: 3,
         }
     }
 }
@@ -244,6 +258,20 @@ fn write_util(out: &mut String, cfg: &GenConfig, _rng: &mut StdRng) {
             }
         }
     }
+    for g in 0..cfg.cycle_groups {
+        // Mutually recursive relay pair (bounded by the fuel argument):
+        // `v` cycles a -> b -> a through the `[Param]` edges, and the
+        // call-result locals cycle through the `[Return]` edges — the
+        // assign-SCCs that cycle-collapsed propagation targets.
+        let _ = writeln!(
+            out,
+            "    static Data relay{g}a(Data v, int n) {{ if (n == 0) {{ return v; }} Data r = Util.relay{g}b(v, n - 1); return r; }}"
+        );
+        let _ = writeln!(
+            out,
+            "    static Data relay{g}b(Data v, int n) {{ Data r = Util.relay{g}a(v, n); return r; }}"
+        );
+    }
     out.push_str("}\n");
 }
 
@@ -351,6 +379,15 @@ fn field_scenario(
     let _ = writeln!(out, "        Data mixed = ent.mix{e}(v);");
     let _ = writeln!(out, "        D{d} mcast = (D{d}) mixed;");
     ctx.casts += 1;
+    if cfg.ring_len >= 2 {
+        // Local assign ring: a pure copy cycle the solver can collapse.
+        let _ = writeln!(out, "        Data ring0 = v;");
+        for i in 1..cfg.ring_len {
+            let _ = writeln!(out, "        Data ring{i} = ring{};", i - 1);
+        }
+        let _ = writeln!(out, "        ring0 = ring{};", cfg.ring_len - 1);
+        let _ = writeln!(out, "        int ringT = ring{}.tag();", cfg.ring_len / 2);
+    }
     "v"
 }
 
@@ -479,6 +516,17 @@ fn chain_scenario(
     let _ = writeln!(out, "        Data r = Util.chain{c}_0(v);");
     let _ = writeln!(out, "        D{d} cast = (D{d}) r;");
     ctx.casts += 1;
+    if cfg.cycle_groups > 0 {
+        // Route the value through a recursive relay pair, feeding the
+        // cross-method param/return cycles with this scenario's objects.
+        let g = rng.gen_range(0..cfg.cycle_groups);
+        let _ = writeln!(
+            out,
+            "        Data rel = Util.relay{g}a(v, {});",
+            cfg.loop_iters
+        );
+        let _ = writeln!(out, "        int rt = rel.tag();");
+    }
     let _ = writeln!(out, "        Data s = v.identity();");
     let _ = writeln!(out, "        int t = s.tag();");
     "cast"

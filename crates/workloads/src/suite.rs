@@ -61,6 +61,10 @@ fn cfg(
         loop_iters: 3,
         registry_every: 2,
         factory_prob: 0.3,
+        // Cyclic flows scale with the call-chain knobs: one recursive
+        // relay pair per chain, rings one hop longer than the chain depth.
+        cycle_groups: chains,
+        ring_len: chain_depth + 1,
     }
 }
 

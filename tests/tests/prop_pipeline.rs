@@ -10,31 +10,35 @@ use proptest::prelude::*;
 fn small_config() -> impl Strategy<Value = GenConfig> {
     (
         any::<u64>(),
-        2usize..6, // data classes
-        1usize..4, // entities
-        1usize..4, // fields per entity
-        1usize..4, // wrappers
-        1usize..4, // selects
-        1usize..3, // chains
-        2usize..5, // chain depth
-        1usize..4, // scenarios per kind
-        0usize..4, // registry every (0 = off)
-        0.0f64..1.0,
+        2usize..6,                           // data classes
+        1usize..4,                           // entities
+        1usize..4,                           // fields per entity
+        1usize..4,                           // wrappers
+        1usize..4,                           // selects
+        1usize..3,                           // chains
+        2usize..5,                           // chain depth
+        1usize..4,                           // scenarios per kind
+        0usize..4,                           // registry every (0 = off)
+        (0.0f64..1.0, 0usize..3, 0usize..5), // factory prob / cycle groups / ring len
     )
         .prop_map(
-            |(seed, data, ent, fields, wraps, sels, chains, depth, scen, reg, fac)| GenConfig {
-                seed,
-                data_classes: data,
-                entities: ent,
-                fields_per_entity: fields,
-                wrappers: wraps,
-                selects: sels,
-                chains,
-                chain_depth: depth,
-                scenarios_per_kind: scen,
-                loop_iters: 2,
-                registry_every: reg,
-                factory_prob: fac,
+            |(seed, data, ent, fields, wraps, sels, chains, depth, scen, reg, (fac, cyc, ring))| {
+                GenConfig {
+                    seed,
+                    data_classes: data,
+                    entities: ent,
+                    fields_per_entity: fields,
+                    wrappers: wraps,
+                    selects: sels,
+                    chains,
+                    chain_depth: depth,
+                    scenarios_per_kind: scen,
+                    loop_iters: 2,
+                    registry_every: reg,
+                    factory_prob: fac,
+                    cycle_groups: cyc,
+                    ring_len: ring,
+                }
             },
         )
 }
