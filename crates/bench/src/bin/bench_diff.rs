@@ -18,6 +18,13 @@
 //! Rows that timed out (`completed: false`) are compared on completion
 //! status only: a row that completed in the baseline but times out fresh
 //! is always a failure; a row that was already timed out is skipped.
+//!
+//! Rows are keyed by `(program, analysis, threads)` — a parallel row
+//! (threads ≥ 2 on the sharded engine, whose propagation counts are
+//! deterministic per thread count but differ from the sequential
+//! engine's) is only ever compared against a baseline row with the same
+//! thread count. Snapshots predating the `threads` field parse as
+//! `threads = 1`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -41,7 +48,10 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-fn parse(path: &str) -> BTreeMap<(String, String), Row> {
+/// Row key: `(program, analysis, threads)`.
+type Key = (String, String, u64);
+
+fn parse(path: &str) -> BTreeMap<Key, Row> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
     let mut rows = BTreeMap::new();
@@ -51,6 +61,9 @@ fn parse(path: &str) -> BTreeMap<(String, String), Row> {
         }
         let program = field(line, "program").expect("program field").to_owned();
         let analysis = field(line, "analysis").expect("analysis field").to_owned();
+        let threads: u64 = field(line, "threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
         let row = Row {
             time_secs: field(line, "time_secs")
                 .and_then(|v| v.parse().ok())
@@ -60,7 +73,7 @@ fn parse(path: &str) -> BTreeMap<(String, String), Row> {
                 .and_then(|v| v.parse().ok())
                 .expect("propagations field"),
         };
-        rows.insert((program, analysis), row);
+        rows.insert((program, analysis, threads), row);
     }
     assert!(!rows.is_empty(), "no rows parsed from {path}");
     rows
@@ -114,9 +127,10 @@ fn main() -> ExitCode {
     let fresh = parse(fresh_path);
     let mut failures = 0usize;
     println!(
-        "{:<11} {:<9} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9}",
+        "{:<11} {:<9} {:>3} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9}",
         "Program",
         "Analysis",
+        "Thr",
         "base-time",
         "fresh-time",
         "Δtime%",
@@ -124,18 +138,18 @@ fn main() -> ExitCode {
         "fresh-props",
         "Δprops%"
     );
-    for ((program, analysis), base) in &baseline {
-        let Some(new) = fresh.get(&(program.clone(), analysis.clone())) else {
-            println!("{program:<11} {analysis:<9} MISSING from fresh snapshot");
+    for ((program, analysis, threads), base) in &baseline {
+        let Some(new) = fresh.get(&(program.clone(), analysis.clone(), *threads)) else {
+            println!("{program:<11} {analysis:<9} {threads:>3} MISSING from fresh snapshot");
             failures += 1;
             continue;
         };
         if !base.completed {
-            println!("{program:<11} {analysis:<9} skipped (baseline timed out)");
+            println!("{program:<11} {analysis:<9} {threads:>3} skipped (baseline timed out)");
             continue;
         }
         if !new.completed {
-            println!("{program:<11} {analysis:<9} REGRESSION: now times out");
+            println!("{program:<11} {analysis:<9} {threads:>3} REGRESSION: now times out");
             failures += 1;
             continue;
         }
@@ -146,7 +160,8 @@ fn main() -> ExitCode {
         let time_bad = dt > time_tol;
         let prop_bad = dp > prop_tol;
         println!(
-            "{program:<11} {analysis:<9} {:>11.3}s {:>11.3}s {:>8.1}% {:>14} {:>14} {:>8.1}%{}",
+            "{program:<11} {analysis:<9} {threads:>3} {:>11.3}s {:>11.3}s {:>8.1}% {:>14} {:>14} \
+             {:>8.1}%{}",
             base.time_secs,
             new.time_secs,
             dt,
@@ -164,7 +179,10 @@ fn main() -> ExitCode {
     }
     for key in fresh.keys() {
         if !baseline.contains_key(key) {
-            println!("{:<11} {:<9} new row (no baseline)", key.0, key.1);
+            println!(
+                "{:<11} {:<9} {:>3} new row (no baseline)",
+                key.0, key.1, key.2
+            );
         }
     }
     if failures > 0 {

@@ -5,20 +5,33 @@
 //! Besides the human-readable table, the run writes a machine-readable
 //! perf snapshot to `BENCH_main.json` (path overridable via
 //! `CSC_BENCH_JSON`) so CI can track wall-clock and precision drift.
+//! Every row records the propagation `threads` it ran with (`CSC_THREADS`;
+//! CI pins 1 for the gate), so `bench_diff` only ever compares rows with
+//! like thread counts. Opt-in extras: `CSC_XL=1` appends the
+//! 10⁵+-statement `xl` program, and `CSC_PAR_ROWS=N` (N ≥ 2) re-runs
+//! 2obj on the three slowest programs (columba, soot, gruntspud) with N
+//! worker threads, recording the thread-scaling rows next to their
+//! sequential counterparts.
 
 use std::fmt::Write as _;
 
-use csc_bench::{analyses, budget_label, fmt_time, run_row, Row};
+use csc_bench::{analyses, budget_label, fmt_time, run_row, run_row_opts, Row};
+use csc_core::Analysis;
+
+/// The programs whose 2obj rows dominate suite wall-clock; `CSC_PAR_ROWS`
+/// re-measures exactly these with a parallel engine.
+const PAR_ROW_PROGRAMS: [&str; 3] = ["columba", "soot", "gruntspud"];
 
 fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
     let stats = &row.outcome.result.state.stats;
     let _ = write!(
         out,
-        "    {{\"program\": \"{program}\", \"analysis\": \"{}\", \
+        "    {{\"program\": \"{program}\", \"analysis\": \"{}\", \"threads\": {}, \
          \"time_secs\": {:.6}, \"completed\": {}, \
          \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}, \
          \"scc_runs\": {}, \"sccs_collapsed\": {}, \"ptrs_collapsed\": {}",
         row.label,
+        stats.threads,
         row.outcome.total_time.as_secs_f64(),
         row.outcome.completed(),
         stats.propagations,
@@ -39,45 +52,73 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
     out.push('}');
 }
 
+fn print_row(program: &str, row: &Row<'_>) {
+    let threads = row.outcome.result.state.stats.threads;
+    let label = if threads > 1 {
+        format!("{}({}t)", row.label, threads)
+    } else {
+        row.label.to_owned()
+    };
+    match &row.metrics {
+        Some(m) => println!(
+            "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
+            program,
+            label,
+            fmt_time(row.outcome.total_time),
+            m.fail_casts,
+            m.reach_methods,
+            m.poly_calls,
+            m.call_edges
+        ),
+        None => println!(
+            "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
+            program,
+            label,
+            budget_label(),
+            "-",
+            "-",
+            "-",
+            "-"
+        ),
+    }
+}
+
 fn main() {
     let only: Option<String> = std::env::args().nth(1);
+    let par_rows: usize = std::env::var("CSC_PAR_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let mut json_rows: Vec<String> = Vec::new();
     println!(
         "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
         "Program", "Analysis", "Time", "#fail-cast", "#reach-mtd", "#poly-call", "#call-edge"
     );
     println!("{}", "-".repeat(78));
-    for bench in csc_workloads::suite() {
+    for bench in csc_bench::bench_programs() {
         if let Some(only) = &only {
             if only != bench.name {
                 continue;
             }
         }
-        let program = bench.compile();
+        let program = csc_workloads::compiled(bench.name).expect("suite benchmark compiles");
         for analysis in analyses() {
-            let row = run_row(&program, analysis);
-            match &row.metrics {
-                Some(m) => println!(
-                    "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
-                    bench.name,
-                    row.label,
-                    fmt_time(row.outcome.total_time),
-                    m.fail_casts,
-                    m.reach_methods,
-                    m.poly_calls,
-                    m.call_edges
-                ),
-                None => println!(
-                    "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
-                    bench.name,
-                    row.label,
-                    budget_label(),
-                    "-",
-                    "-",
-                    "-",
-                    "-"
-                ),
-            }
+            let row = run_row(program, analysis);
+            print_row(bench.name, &row);
+            let mut buf = String::new();
+            json_row(&mut buf, bench.name, &row);
+            json_rows.push(buf);
+        }
+        // Thread-scaling rows: re-run the dominating 2obj rows on the
+        // sharded parallel engine so the snapshot records the speedup.
+        // Skipped when the base options already run at this thread count —
+        // the suite loop produced that row, and a duplicate
+        // (program, analysis, threads) key would shadow it in bench_diff.
+        let base_threads = csc_bench::solver_options().resolved_threads();
+        if par_rows >= 2 && par_rows != base_threads && PAR_ROW_PROGRAMS.contains(&bench.name) {
+            let opts = csc_bench::solver_options().with_threads(par_rows);
+            let row = run_row_opts(program, Analysis::KObj(2), opts);
+            print_row(bench.name, &row);
             let mut buf = String::new();
             json_row(&mut buf, bench.name, &row);
             json_rows.push(buf);

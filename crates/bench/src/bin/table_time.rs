@@ -20,10 +20,10 @@ fn main() {
     );
     println!("{}", "-".repeat(62));
     for bench in csc_workloads::suite() {
-        let program = bench.compile();
+        let program = csc_workloads::compiled(bench.name).expect("suite benchmark compiles");
         let mut cells: Vec<String> = Vec::new();
         for analysis in order.clone() {
-            let row = run_row(&program, analysis);
+            let row = run_row(program, analysis);
             cells.push(if row.outcome.completed() {
                 fmt_time(row.outcome.total_time)
             } else {

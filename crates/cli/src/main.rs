@@ -2,24 +2,30 @@
 //!
 //! ```text
 //! csc analyze <file.mj> [--analysis ci|2obj|2type|2cs|zipper|csc|csc-doop|csc-hybrid]
-//!                       [--budget <secs>] [--pt <Class.method.var>] [--metrics]
+//!                       [--budget <secs>] [--threads <n>] [--pt <Class.method.var>] [--metrics]
 //! csc dump-ir <file.mj>
 //! csc run     <file.mj>            # concrete execution + trace summary
 //! csc bench   <name>               # analyze a built-in suite benchmark
 //! csc suite                        # list built-in benchmarks
 //! ```
+//!
+//! `--threads` selects the propagation engine: `1` runs the sequential
+//! solver, `0` (the default, also via `CSC_THREADS`) resolves to the
+//! machine's available parallelism, and `n >= 2` runs the sharded
+//! parallel engine with `n` workers. Projected results are identical for
+//! every thread count.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use csc_core::{run_analysis, Analysis, Budget, PrecisionMetrics};
+use csc_core::{run_analysis_opts, Analysis, Budget, PrecisionMetrics, SolverOptions};
 use csc_interp::{execute, InterpConfig};
 use csc_ir::Program;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  csc analyze <file.mj> [--analysis ci|2obj|2type|2cs|zipper|csc|csc-doop|csc-hybrid] \
-         [--budget <secs>] [--pt <Class.method.var>] [--metrics]\n  csc dump-ir <file.mj>\n  \
+         [--budget <secs>] [--threads <n>] [--pt <Class.method.var>] [--metrics]\n  csc dump-ir <file.mj>\n  \
          csc run <file.mj>\n  csc bench <name> [--analysis ...]\n  csc suite"
     );
     ExitCode::from(2)
@@ -48,20 +54,31 @@ fn analyze(
     program: &Program,
     analysis: Analysis,
     budget: Budget,
+    threads: usize,
     pt_query: Option<&str>,
     metrics: bool,
 ) {
     let label = analysis.label().to_owned();
-    let outcome = run_analysis(program, analysis, budget);
+    let opts = SolverOptions::default().with_threads(threads);
+    let outcome = run_analysis_opts(program, analysis, budget, opts);
     if !outcome.completed() {
         println!("{label}: budget exhausted after {:?}", outcome.total_time);
         return;
     }
+    let stats = &outcome.result.state.stats;
+    let engine = if stats.threads > 1 {
+        format!(
+            "{} threads, {} rounds",
+            stats.threads, stats.parallel_rounds
+        )
+    } else {
+        "sequential".to_owned()
+    };
     println!(
-        "{label}: completed in {:?} ({} reachable methods, {} call edges)",
+        "{label}: completed in {:?} ({} reachable methods, {} call edges, {engine})",
         outcome.total_time,
         outcome.result.state.reachable_methods_projected().len(),
-        outcome.result.state.call_edges_projected().len()
+        outcome.result.state.call_edges_projected().len(),
     );
     if let Some(stats) = &outcome.csc {
         println!(
@@ -135,12 +152,25 @@ fn main() -> ExitCode {
     // Flag parsing shared by `analyze` and `bench`.
     let mut analysis = Analysis::CutShortcut;
     let mut budget = Budget::unlimited();
+    // Propagation threads: `--threads` wins, then `CSC_THREADS`, then auto
+    // (0 = available parallelism).
+    let mut threads: usize = std::env::var("CSC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let mut pt_query: Option<String> = None;
     let mut metrics = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--threads" => {
+                let Some(v) = it.next() else { return usage() };
+                match v.parse::<usize>() {
+                    Ok(n) => threads = n,
+                    Err(_) => return usage(),
+                }
+            }
             "--analysis" => {
                 let Some(v) = it.next() else { return usage() };
                 match parse_analysis(v) {
@@ -174,7 +204,14 @@ fn main() -> ExitCode {
             };
             match load(path) {
                 Ok(program) => {
-                    analyze(&program, analysis, budget, pt_query.as_deref(), metrics);
+                    analyze(
+                        &program,
+                        analysis,
+                        budget,
+                        threads,
+                        pt_query.as_deref(),
+                        metrics,
+                    );
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -231,7 +268,14 @@ fn main() -> ExitCode {
             match csc_workloads::by_name(name) {
                 Some(b) => {
                     let program = b.compile();
-                    analyze(&program, analysis, budget, pt_query.as_deref(), metrics);
+                    analyze(
+                        &program,
+                        analysis,
+                        budget,
+                        threads,
+                        pt_query.as_deref(),
+                        metrics,
+                    );
                     ExitCode::SUCCESS
                 }
                 None => {

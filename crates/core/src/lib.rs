@@ -51,6 +51,7 @@ pub mod solver;
 pub mod zipper;
 
 mod analyses;
+mod shard;
 
 pub use analyses::{run_analysis, run_analysis_opts, Analysis, AnalysisOutcome};
 pub use clients::PrecisionMetrics;

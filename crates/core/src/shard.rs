@@ -1,0 +1,292 @@
+//! Sharded pointer-slot storage and the parallel propagation workers.
+//!
+//! The multi-threaded engine partitions pointer slots across `N` shards by
+//! SCC representative: slot `i` lives in shard `i % N`, and because every
+//! member of a collapsed assign-SCC reads and writes through its
+//! representative's slot, a collapsed cycle never straddles shards. Each
+//! worker thread owns exactly one [`Shard`] — the points-to sets and the
+//! pending-delta accumulators of its representatives — so the hot set
+//! unions of a propagation round run without any locking at all.
+//!
+//! One bulk-synchronous round has two sub-phases per worker:
+//!
+//! 1. **propagate** — drain the round's batch of `(representative,
+//!    incoming delta)` pairs: union each delta into the owned points-to
+//!    set, and turn the genuinely new elements into outbox messages for
+//!    the successors' owning shards (cast filters applied worker-side);
+//! 2. **merge** — receive one outbox from every peer (mpsc channels; the
+//!    receive-from-all acts as the phase barrier), sort the packets by
+//!    source shard so the merge order is deterministic, and union the
+//!    payloads into the owned pending accumulators, recording which
+//!    representatives became newly pending.
+//!
+//! Everything that grows the graph — statement fan-out, call-graph
+//! construction, plugin events, SCC re-condensation — happens on the
+//! coordinator between rounds (see `solver.rs`), which is what keeps the
+//! parallel engine's results deterministic and its projections
+//! bit-identical to the sequential engine's.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use csc_ir::{ClassId, ObjId, Program};
+
+use crate::context::CtxId;
+use crate::pts::PointsToSet;
+use crate::scc::UnionFind;
+use crate::solver::PtrId;
+
+/// One shard of the pointer-slot plane: the points-to sets and pending
+/// accumulators of every slot `i` with `i % nshards == shard_index`. Local
+/// storage index is `i / nshards`.
+#[derive(Default)]
+pub(crate) struct Shard {
+    /// Points-to sets (live at SCC representatives, like the sequential
+    /// engine's flat vector).
+    pub(crate) pts: Vec<PointsToSet>,
+    /// Batched worklist accumulators, paired 1:1 with `pts`.
+    pub(crate) pending: Vec<PointsToSet>,
+}
+
+/// The complete sharded slot plane: `pts` and `pending` for every interned
+/// pointer, distributed round-robin across shards. With one shard this is
+/// the sequential engine's flat storage behind an index indirection that
+/// compiles to the identity.
+pub(crate) struct ShardedSlots {
+    n: u32,
+    len: u32,
+    pub(crate) shards: Vec<Shard>,
+}
+
+impl ShardedSlots {
+    /// Creates an empty slot plane with `n` shards (at least one).
+    pub(crate) fn new(n: usize) -> Self {
+        let n = n.max(1);
+        ShardedSlots {
+            n: u32::try_from(n).expect("shard count fits u32"),
+            len: 0,
+            shards: (0..n).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// The shard owning slot `i`.
+    #[inline]
+    pub(crate) fn shard_of(&self, i: u32) -> usize {
+        if self.n == 1 {
+            0
+        } else {
+            (i % self.n) as usize
+        }
+    }
+
+    #[inline]
+    fn loc(&self, i: u32) -> (usize, usize) {
+        if self.n == 1 {
+            (0, i as usize)
+        } else {
+            ((i % self.n) as usize, (i / self.n) as usize)
+        }
+    }
+
+    /// Appends one empty slot (the next dense id) and returns nothing; the
+    /// caller assigns ids densely, so slot `len` goes to shard `len % n`.
+    pub(crate) fn push(&mut self) {
+        let (s, l) = self.loc(self.len);
+        let shard = &mut self.shards[s];
+        debug_assert_eq!(shard.pts.len(), l);
+        shard.pts.push(PointsToSet::new());
+        shard.pending.push(PointsToSet::new());
+        self.len += 1;
+    }
+
+    /// Shared points-to set of slot `i`.
+    #[inline]
+    pub(crate) fn pts(&self, i: u32) -> &PointsToSet {
+        let (s, l) = self.loc(i);
+        &self.shards[s].pts[l]
+    }
+
+    /// Mutable points-to set of slot `i`.
+    #[inline]
+    pub(crate) fn pts_mut(&mut self, i: u32) -> &mut PointsToSet {
+        let (s, l) = self.loc(i);
+        &mut self.shards[s].pts[l]
+    }
+
+    /// Takes slot `i`'s points-to set out, leaving it empty (take/restore
+    /// pattern for split borrows).
+    #[inline]
+    pub(crate) fn take_pts(&mut self, i: u32) -> PointsToSet {
+        std::mem::take(self.pts_mut(i))
+    }
+
+    /// Restores a taken points-to set.
+    #[inline]
+    pub(crate) fn put_pts(&mut self, i: u32, set: PointsToSet) {
+        *self.pts_mut(i) = set;
+    }
+
+    /// Mutable pending accumulator of slot `i`.
+    #[inline]
+    pub(crate) fn pending_mut(&mut self, i: u32) -> &mut PointsToSet {
+        let (s, l) = self.loc(i);
+        &mut self.shards[s].pending[l]
+    }
+
+    /// Takes slot `i`'s pending accumulator out, leaving it empty.
+    #[inline]
+    pub(crate) fn take_pending(&mut self, i: u32) -> PointsToSet {
+        std::mem::take(self.pending_mut(i))
+    }
+
+    /// Restores a taken pending accumulator.
+    #[inline]
+    pub(crate) fn put_pending(&mut self, i: u32, set: PointsToSet) {
+        *self.pending_mut(i) = set;
+    }
+}
+
+/// Restricts a delta to the objects assignable to `class` (`checkcast`
+/// semantics). Free function so the parallel workers can filter without a
+/// `SolverState` borrow.
+pub(crate) fn filter_pts(
+    objs: &PointsToSet,
+    class: ClassId,
+    obj_keys: &[(CtxId, ObjId)],
+    program: &Program,
+) -> PointsToSet {
+    objs.iter()
+        .filter(|&o| {
+            let (_, obj) = obj_keys[o as usize];
+            program.is_subclass(program.obj(obj).class(), class)
+        })
+        .collect()
+}
+
+/// An outbox packet: `(source shard, messages)` where each message is a
+/// `(destination representative, delta)` pair. Deltas travel by `Arc` —
+/// an unfiltered delta fanning out to many successors ships one shared
+/// set plus per-edge pointer clones, mirroring the sequential engine's
+/// propagate-by-reference invariant; only the receiving shard's pending
+/// union copies elements.
+pub(crate) type Packet = (usize, Vec<(u32, Arc<PointsToSet>)>);
+
+/// What one worker hands back to the coordinator after a round.
+pub(crate) struct WorkerResult {
+    /// `(representative, committed delta)` pairs, in batch order — the
+    /// coordinator replays statement/event fan-out from these. By the
+    /// time the coordinator runs, all outbox clones of a delta have been
+    /// merged and dropped, so the `Arc` is unique again and unwraps
+    /// without a copy.
+    pub(crate) stmt: Vec<(PtrId, Arc<PointsToSet>)>,
+    /// Representatives whose pending accumulator went from empty to
+    /// non-empty during the merge sub-phase, in deterministic order.
+    pub(crate) newly_queued: Vec<PtrId>,
+    /// Worklist propagations with a non-empty delta.
+    pub(crate) propagations: u64,
+    /// Whether this worker hit the wall-clock deadline mid-batch (its
+    /// remaining deltas were restored to pending; the coordinator aborts
+    /// the solve).
+    pub(crate) timed_out: bool,
+}
+
+/// Runs one worker's share of a bulk-synchronous propagation round. See
+/// the module docs for the two sub-phases. `txs[d]` reaches shard `d`'s
+/// worker (including `me`); `rx` is this worker's inbox. `deadline` is
+/// the wall-clock budget's cutoff: checked every 1024 propagations like
+/// the sequential engine, so a single oversized round cannot overshoot
+/// the budget unboundedly — on expiry the worker restores its remaining
+/// deltas to pending and still completes the channel protocol (both
+/// sub-phases must run or peers would deadlock).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_worker(
+    me: usize,
+    nshards: u32,
+    shard: &mut Shard,
+    batch: Vec<(u32, PointsToSet)>,
+    txs: Vec<Sender<Packet>>,
+    rx: Receiver<Packet>,
+    succ: &[Vec<(PtrId, Option<ClassId>)>],
+    reps: &UnionFind,
+    obj_keys: &[(CtxId, ObjId)],
+    program: &Program,
+    deadline: Option<std::time::Instant>,
+) -> WorkerResult {
+    // Sub-phase 1: propagate. Union incoming deltas into the owned
+    // points-to sets; route genuinely new elements to the successors'
+    // owning shards.
+    let mut out: Vec<Vec<(u32, Arc<PointsToSet>)>> = vec![Vec::new(); nshards as usize];
+    let mut stmt: Vec<(PtrId, Arc<PointsToSet>)> = Vec::with_capacity(batch.len());
+    let mut propagations = 0u64;
+    let mut timed_out = false;
+    for (rep, incoming) in batch {
+        debug_assert_eq!(rep % nshards, me as u32);
+        let local = (rep / nshards) as usize;
+        if timed_out {
+            // Restore the drained delta so the partial state stays
+            // consistent (the coordinator aborts after this round).
+            shard.pending[local].union_with(&incoming);
+            continue;
+        }
+        let Some(delta) = shard.pts[local].union_delta(&incoming) else {
+            continue;
+        };
+        propagations += 1;
+        if let Some(d) = deadline {
+            if propagations.is_multiple_of(1024) && std::time::Instant::now() > d {
+                timed_out = true;
+            }
+        }
+        let delta = Arc::new(delta);
+        for &(t, filter) in &succ[rep as usize] {
+            // Stored targets may be stale (merged away); canonicalize like
+            // the sequential engine's enqueue does. A target canonicalizing
+            // back onto the source is a no-op (the delta is already in the
+            // shared set).
+            let trep = reps.find(t.0);
+            if trep == rep {
+                continue;
+            }
+            let payload = match filter {
+                None => Arc::clone(&delta),
+                Some(class) => Arc::new(filter_pts(&delta, class, obj_keys, program)),
+            };
+            if !payload.is_empty() {
+                out[(trep % nshards) as usize].push((trep, payload));
+            }
+        }
+        stmt.push((PtrId(rep), delta));
+    }
+    for (d, tx) in txs.iter().enumerate() {
+        tx.send((me, std::mem::take(&mut out[d])))
+            .expect("peer worker hung up");
+    }
+    drop(txs);
+
+    // Sub-phase 2: merge. Receiving one packet from every shard (self
+    // included) doubles as the round barrier; sorting by source shard
+    // makes the merge order — and therefore the newly-queued order —
+    // deterministic regardless of thread scheduling.
+    let mut packets: Vec<Packet> = (0..nshards)
+        .map(|_| rx.recv().expect("peer worker hung up"))
+        .collect();
+    packets.sort_unstable_by_key(|&(src, _)| src);
+    let mut newly_queued: Vec<PtrId> = Vec::new();
+    for (_, msgs) in packets {
+        for (trep, payload) in msgs {
+            debug_assert_eq!(trep % nshards, me as u32);
+            let slot = &mut shard.pending[(trep / nshards) as usize];
+            let was_empty = slot.is_empty();
+            slot.union_with(&payload);
+            if was_empty {
+                newly_queued.push(PtrId(trep));
+            }
+        }
+    }
+    WorkerResult {
+        stmt,
+        newly_queued,
+        propagations,
+        timed_out,
+    }
+}

@@ -48,6 +48,24 @@
 //! edges that plugins (cut/shortcut) insert mid-solve. The
 //! `tests/differential.rs` harness asserts bit-identical results with
 //! collapsing on and off for every suite program × analysis configuration.
+//!
+//! ## Sharded parallel propagation
+//!
+//! With [`SolverOptions::threads`] ≥ 2 the solver runs a bulk-synchronous
+//! sharded engine (see [`crate::shard`]): pointer slots are partitioned
+//! across shards by SCC representative (slot id modulo shard count — a
+//! collapsed cycle reads and writes only its representative's slot, so it
+//! never straddles shards), each worker thread owns one shard's `pts` and
+//! `pending` halves, and a round unions the drained worklist deltas in
+//! parallel, exchanging cross-shard deltas through per-shard outboxes.
+//! Everything that grows the graph — statement fan-out, call-graph
+//! construction, plugin events, condensation epochs — runs on the
+//! coordinator between rounds, and all cross-thread merge orders are
+//! sorted by source shard, so a run is deterministic for a fixed thread
+//! count and its *projected* results are bit-identical to the sequential
+//! engine's for every thread count (enforced by the differential
+//! harness). `threads = 1` takes the original sequential loop untouched,
+//! propagation counts included.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -249,6 +267,12 @@ pub struct SolverStats {
     pub sccs_collapsed: u64,
     /// Pointers merged into another representative.
     pub ptrs_collapsed: u64,
+    /// Worker threads the propagation engine ran with (1 = the sequential
+    /// engine; the resolved value when [`SolverOptions::threads`] was 0).
+    pub threads: u64,
+    /// Bulk-synchronous parallel rounds executed (0 on the sequential
+    /// path).
+    pub parallel_rounds: u64,
 }
 
 /// Engine tuning knobs, independent of the analysis policy (context
@@ -265,6 +289,13 @@ pub struct SolverOptions {
     /// picks an adaptive threshold from the current pointer count; tests
     /// use small values to stress merge paths on tiny programs.
     pub collapse_epoch: Option<u32>,
+    /// Propagation worker threads. `1` (the default) runs the sequential
+    /// engine unchanged; `0` resolves to the machine's available
+    /// parallelism; `>= 2` runs the sharded bulk-synchronous engine, whose
+    /// projected results are bit-identical to the sequential engine's for
+    /// any thread count (enforced by `tests/differential.rs`) while its
+    /// propagation counts are deterministic per thread count.
+    pub threads: usize,
 }
 
 impl Default for SolverOptions {
@@ -272,6 +303,7 @@ impl Default for SolverOptions {
         SolverOptions {
             collapse_sccs: true,
             collapse_epoch: None,
+            threads: 1,
         }
     }
 }
@@ -290,6 +322,23 @@ impl SolverOptions {
         SolverOptions {
             collapse_sccs: true,
             collapse_epoch: Some(epoch),
+            ..SolverOptions::default()
+        }
+    }
+
+    /// The same options with an explicit propagation thread count
+    /// (`0` = available parallelism).
+    pub fn with_threads(self, threads: usize) -> Self {
+        SolverOptions { threads, ..self }
+    }
+
+    /// The worker-thread count these options resolve to on this machine.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -348,9 +397,11 @@ pub struct SolverState<'p> {
     obj_table: FxHashMap<(CtxId, ObjId), CsObjId>,
     obj_keys: Vec<(CtxId, ObjId)>,
 
-    /// Points-to sets, stored at SCC representatives; merged members keep
-    /// an empty slot and read through [`SolverState::repr`].
-    pts: Vec<PointsToSet>,
+    /// Points-to sets and pending-delta accumulators, stored at SCC
+    /// representatives and sharded round-robin by slot id for the parallel
+    /// engine (one shard when sequential); merged members keep an empty
+    /// slot and read through [`SolverState::repr`].
+    slots: crate::shard::ShardedSlots,
     /// Successors with an optional cast filter: only objects whose class
     /// is a subtype of the filter class propagate along the edge
     /// (`checkcast` semantics, as in Tai-e and Doop). Lists live at SCC
@@ -372,11 +423,12 @@ pub struct SolverState<'p> {
     /// Unfiltered copy edges inserted since the last condensation epoch.
     copy_edges_since_collapse: u32,
     opts: SolverOptions,
+    /// Resolved propagation worker count (>= 1).
+    nthreads: usize,
 
-    /// Batched worklist: per-pointer pending delta accumulators plus the
-    /// FIFO of pointers with a non-empty accumulator.
+    /// Batched worklist: the FIFO of pointers with a non-empty pending
+    /// accumulator (the accumulators themselves live in `slots`).
     queue: VecDeque<PtrId>,
-    pending: Vec<PointsToSet>,
 
     events: VecDeque<Event>,
     emit_events: bool,
@@ -402,6 +454,11 @@ pub struct SolverState<'p> {
 
 impl<'p> SolverState<'p> {
     fn new(program: &'p Program, budget: Budget, opts: SolverOptions) -> Self {
+        let nthreads = opts.resolved_threads().max(1);
+        let stats = SolverStats {
+            threads: nthreads as u64,
+            ..SolverStats::default()
+        };
         SolverState {
             program,
             interner: CtxInterner::new(),
@@ -412,15 +469,15 @@ impl<'p> SolverState<'p> {
             ci_objs: vec![ABSENT; program.objs().len()],
             obj_table: FxHashMap::default(),
             obj_keys: Vec::new(),
-            pts: Vec::new(),
+            slots: crate::shard::ShardedSlots::new(nthreads),
             succ: Vec::new(),
             edge_targets: Vec::new(),
             reps: crate::scc::UnionFind::new(),
             members: FxHashMap::default(),
             copy_edges_since_collapse: 0,
             opts,
+            nthreads,
             queue: VecDeque::new(),
-            pending: Vec::new(),
             events: VecDeque::new(),
             emit_events: false,
             reachable_ci: vec![false; program.methods().len()],
@@ -430,7 +487,7 @@ impl<'p> SolverState<'p> {
             call_edges: Vec::new(),
             call_edges_by_callee: FxHashMap::default(),
             uses: VarUses::build(program),
-            stats: SolverStats::default(),
+            stats,
             budget,
             started: Instant::now(),
         }
@@ -441,10 +498,9 @@ impl<'p> SolverState<'p> {
     fn push_ptr(&mut self, key: PtrKey) -> PtrId {
         let id = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
         self.ptr_keys.push(key);
-        self.pts.push(PointsToSet::new());
+        self.slots.push();
         self.succ.push(Vec::new());
         self.edge_targets.push(FxHashSet::default());
-        self.pending.push(PointsToSet::new());
         self.reps.push();
         self.stats.pointers += 1;
         id
@@ -531,7 +587,7 @@ impl<'p> SolverState<'p> {
     /// Current points-to set of a pointer (read through the representative
     /// indirection — members of a collapsed SCC share one set).
     pub fn pt(&self, p: PtrId) -> &PointsToSet {
-        &self.pts[self.reps.find(p.0) as usize]
+        self.slots.pts(self.reps.find(p.0))
     }
 
     /// Looks up an already-interned pointer without creating it.
@@ -556,7 +612,7 @@ impl<'p> SolverState<'p> {
             return;
         }
         let ptr = self.repr(ptr);
-        let slot = &mut self.pending[ptr.0 as usize];
+        let slot = self.slots.pending_mut(ptr.0);
         let was_empty = slot.is_empty();
         slot.union_with(objs);
         if was_empty {
@@ -567,7 +623,7 @@ impl<'p> SolverState<'p> {
     /// Queues a single object for a pointer.
     fn enqueue_one(&mut self, ptr: PtrId, obj: u32) {
         let ptr = self.repr(ptr);
-        let slot = &mut self.pending[ptr.0 as usize];
+        let slot = self.slots.pending_mut(ptr.0);
         let was_empty = slot.is_empty();
         slot.insert(obj);
         if was_empty {
@@ -597,21 +653,21 @@ impl<'p> SolverState<'p> {
             _ => None,
         };
         self.stats.edges += 1;
-        let csrc = self.reps.find(src.0) as usize;
-        if csrc != self.reps.find(dst.0) as usize {
+        let csrc = self.reps.find(src.0);
+        if csrc != self.reps.find(dst.0) {
             if filter.is_none() {
                 self.copy_edges_since_collapse += 1;
             }
-            self.succ[csrc].push((dst, filter));
-            if !self.pts[csrc].is_empty() {
+            self.succ[csrc as usize].push((dst, filter));
+            if !self.slots.pts(csrc).is_empty() {
                 match filter {
                     None => {
-                        let pts = std::mem::take(&mut self.pts[csrc]);
+                        let pts = self.slots.take_pts(csrc);
                         self.enqueue(dst, &pts);
-                        self.pts[csrc] = pts;
+                        self.slots.put_pts(csrc, pts);
                     }
-                    Some(_) => {
-                        let filtered = self.apply_filter(&self.pts[csrc], filter);
+                    Some(class) => {
+                        let filtered = self.apply_filter(self.slots.pts(csrc), class);
                         self.enqueue(dst, &filtered);
                     }
                 }
@@ -622,20 +678,12 @@ impl<'p> SolverState<'p> {
         }
     }
 
-    /// Restricts a set to objects assignable to `filter` (identity for
-    /// unfiltered edges).
-    fn apply_filter(&self, objs: &PointsToSet, filter: Option<csc_ir::ClassId>) -> PointsToSet {
-        match filter {
-            None => objs.clone(),
-            Some(class) => objs
-                .iter()
-                .filter(|&o| {
-                    let (_, obj) = self.obj_keys[o as usize];
-                    self.program
-                        .is_subclass(self.program.obj(obj).class(), class)
-                })
-                .collect(),
-        }
+    /// Restricts a set to objects assignable to `class` (`checkcast`
+    /// semantics). Only cast edges pay for this copy — unfiltered edges
+    /// propagate their delta by reference, so there is no identity-clone
+    /// arm here.
+    fn apply_filter(&self, objs: &PointsToSet, class: csc_ir::ClassId) -> PointsToSet {
+        crate::shard::filter_pts(objs, class, &self.obj_keys, self.program)
     }
 
     /// Whether a PFG edge already exists.
@@ -808,7 +856,7 @@ impl<'p> SolverState<'p> {
         ptr: PtrId,
         incoming: PointsToSet,
     ) -> bool {
-        let Some(delta) = self.pts[ptr.0 as usize].union_delta(&incoming) else {
+        let Some(delta) = self.slots.pts_mut(ptr.0).union_delta(&incoming) else {
             return true;
         };
         self.stats.propagations += 1;
@@ -826,24 +874,42 @@ impl<'p> SolverState<'p> {
 
         // [Propagate] along PFG edges (respecting cast filters). Unfiltered
         // edges enqueue the delta by reference; only cast edges pay for a
-        // filtered copy.
-        for i in 0..self.succ[ptr.0 as usize].len() {
-            let (t, filter) = self.succ[ptr.0 as usize][i];
+        // filtered copy. The successor list is taken out and restored
+        // around the loop — nothing inside `enqueue`/`apply_filter` can
+        // reach `succ`, and the split borrow avoids re-indexing (and
+        // historically an O(|succ|) clone) per delta.
+        let succ = std::mem::take(&mut self.succ[ptr.0 as usize]);
+        for &(t, filter) in &succ {
             match filter {
                 None => self.enqueue(t, &delta),
-                Some(_) => {
-                    let out = self.apply_filter(&delta, filter);
+                Some(class) => {
+                    let out = self.apply_filter(&delta, class);
                     self.enqueue(t, &out);
                 }
             }
         }
+        debug_assert!(self.succ[ptr.0 as usize].is_empty());
+        self.succ[ptr.0 as usize] = succ;
 
-        // Statement processing and events fan out to every member of a
-        // collapsed SCC — each member's loads/stores/calls must see the
-        // shared set's growth exactly as they would uncollapsed. The member
-        // list is taken out and restored around the loop (nothing inside
-        // statement processing can reach `members`; merges only happen
-        // between worklist steps), avoiding an O(|SCC|) clone per delta.
+        self.fan_out(selector, plugin, ptr, delta);
+        true
+    }
+
+    /// Statement processing and `NewPointsTo` events for a committed delta,
+    /// fanned out to every member of a collapsed SCC — each member's
+    /// loads/stores/calls must see the shared set's growth exactly as they
+    /// would uncollapsed. The member list is taken out and restored around
+    /// the loop (nothing inside statement processing can reach `members`;
+    /// merges only happen between worklist steps), avoiding an O(|SCC|)
+    /// clone per delta. Shared by the sequential `step` and the parallel
+    /// coordinator phase.
+    fn fan_out<S: ContextSelector, P: Plugin>(
+        &mut self,
+        selector: &S,
+        plugin: &P,
+        ptr: PtrId,
+        delta: PointsToSet,
+    ) {
         if let Some(group) = self.members.remove(&ptr.0) {
             for &m in &group {
                 if let PtrKey::Var(ctx, v) = self.ptr_keys[m as usize] {
@@ -867,7 +933,6 @@ impl<'p> SolverState<'p> {
                 self.events.push_back(Event::NewPointsTo { ptr, delta });
             }
         }
-        true
     }
 
     /// The `[Load]` / `[Store]` / `[Call]` rules for one variable whose
@@ -1018,7 +1083,7 @@ impl<'p> SolverState<'p> {
             let mut union = PointsToSet::new();
             let mut subgroups: Vec<(Vec<u32>, PointsToSet)> = Vec::with_capacity(group.len());
             for &m in &group {
-                let old = std::mem::take(&mut self.pts[m as usize]);
+                let old = self.slots.take_pts(m);
                 let sub = self.members.remove(&m).unwrap_or_else(|| vec![m]);
                 union.union_with(&old);
                 subgroups.push((sub, old));
@@ -1034,7 +1099,7 @@ impl<'p> SolverState<'p> {
             }
             all.sort_unstable();
             self.members.insert(rep, all);
-            self.pts[rep as usize] = union;
+            self.slots.put_pts(rep, union);
             for &m in &group[1..] {
                 self.reps.set_parent(m, rep);
             }
@@ -1056,39 +1121,44 @@ impl<'p> SolverState<'p> {
             self.succ[rep as usize] = new_succ;
             // Merge the pending accumulators; requeue the representative if
             // a member (but not the representative itself) was queued.
-            let mut pend = std::mem::take(&mut self.pending[rep as usize]);
+            let mut pend = self.slots.take_pending(rep);
             let rep_was_queued = !pend.is_empty();
             for &m in &group[1..] {
-                let p = std::mem::take(&mut self.pending[m as usize]);
+                let p = self.slots.take_pending(m);
                 pend.union_with(&p);
             }
             if !pend.is_empty() {
                 if !rep_was_queued {
                     self.queue.push_back(PtrId(rep));
                 }
-                self.pending[rep as usize] = pend;
+                self.slots.put_pending(rep, pend);
             }
             flush_reps.push(rep);
         }
         self.reps.flatten();
 
         // Replay pass 1: flush the unified sets along the rebuilt edges.
+        // Both the successor list and the set are taken out and restored
+        // around the loop (`enqueue` can reach neither), instead of paying
+        // an O(|succ|) clone per collapsed representative.
         for rep in flush_reps {
-            if self.pts[rep as usize].is_empty() {
+            if self.slots.pts(rep).is_empty() {
                 continue;
             }
-            let succ = self.succ[rep as usize].clone();
-            let pts = std::mem::take(&mut self.pts[rep as usize]);
-            for (t, filter) in succ {
+            let succ = std::mem::take(&mut self.succ[rep as usize]);
+            let pts = self.slots.take_pts(rep);
+            for &(t, filter) in &succ {
                 match filter {
                     None => self.enqueue(t, &pts),
-                    Some(_) => {
-                        let out = self.apply_filter(&pts, filter);
+                    Some(class) => {
+                        let out = self.apply_filter(&pts, class);
                         self.enqueue(t, &out);
                     }
                 }
             }
-            self.pts[rep as usize] = pts;
+            self.slots.put_pts(rep, pts);
+            debug_assert!(self.succ[rep as usize].is_empty());
+            self.succ[rep as usize] = succ;
         }
         // Replay pass 2: per-member catch-up for elements a member had not
         // seen before its set was unified.
@@ -1105,6 +1175,125 @@ impl<'p> SolverState<'p> {
         }
     }
 
+    // ---- sharded parallel propagation -------------------------------------
+
+    /// One bulk-synchronous parallel propagation round.
+    ///
+    /// The coordinator drains the whole worklist into per-shard batches
+    /// (slot id modulo shard count — representatives only, so a collapsed
+    /// SCC never straddles shards), then scoped workers run the two
+    /// lock-free sub-phases of [`crate::shard::run_worker`]: union the
+    /// batched deltas into their owned points-to sets and route the new
+    /// elements through per-shard outboxes into the owners' pending
+    /// accumulators. Back on the coordinator, the committed deltas replay
+    /// statement/event fan-out in deterministic (shard, batch) order —
+    /// everything that can grow the graph (edges, call edges, contexts,
+    /// plugin reactions, SCC epochs) stays single-threaded between rounds,
+    /// which is what keeps runs deterministic for a fixed thread count.
+    ///
+    /// Returns `false` when the budget was exhausted.
+    fn parallel_round<S: ContextSelector, P: Plugin>(&mut self, selector: &S, plugin: &P) -> bool {
+        let n = self.nthreads;
+        // Drain the queue in order, canonicalizing stale entries exactly
+        // like the sequential pop does.
+        let mut batch: Vec<(u32, PointsToSet)> = Vec::with_capacity(self.queue.len());
+        while let Some(ptr) = self.queue.pop_front() {
+            let rep = self.reps.find(ptr.0);
+            let incoming = self.slots.take_pending(rep);
+            if incoming.is_empty() {
+                continue; // duplicate queue entry; already drained
+            }
+            batch.push((rep, incoming));
+        }
+
+        // Small rounds run inline on the coordinator: plugin-driven
+        // solves drip-feed the worklist one event at a time (thousands of
+        // rounds of a handful of pointers), where per-round thread spawns
+        // would dominate wall-clock. The threshold is deterministic, so
+        // runs stay reproducible; the wave-front rounds that carry the
+        // real union work exceed it by orders of magnitude.
+        if batch.len() < 32 * n {
+            for (rep, incoming) in batch {
+                if !self.step(selector, plugin, PtrId(rep), incoming) {
+                    return false;
+                }
+            }
+            return true;
+        }
+
+        self.stats.parallel_rounds += 1;
+        // Partition into per-shard batches (queue order within a shard).
+        let mut work: Vec<Vec<(u32, PointsToSet)>> = vec![Vec::new(); n];
+        for (rep, incoming) in batch {
+            work[self.slots.shard_of(rep)].push((rep, incoming));
+        }
+
+        // Parallel phase: one scoped worker per shard. Disjoint `&mut`
+        // shard borrows carry the hot state; everything else is shared
+        // read-only for the duration of the scope.
+        let nshards = n as u32;
+        let deadline = self.budget.time.map(|limit| self.started + limit);
+        let succ = &self.succ;
+        let reps = &self.reps;
+        let obj_keys = &self.obj_keys;
+        let program = self.program;
+        let shards = &mut self.slots.shards;
+        let results: Vec<crate::shard::WorkerResult> = std::thread::scope(|scope| {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n)
+                .map(|_| std::sync::mpsc::channel::<crate::shard::Packet>())
+                .unzip();
+            let mut handles = Vec::with_capacity(n);
+            for (me, ((shard, batch), rx)) in shards.iter_mut().zip(work).zip(rxs).enumerate() {
+                let txs = txs.clone();
+                handles.push(scope.spawn(move || {
+                    crate::shard::run_worker(
+                        me, nshards, shard, batch, txs, rx, succ, reps, obj_keys, program, deadline,
+                    )
+                }));
+            }
+            drop(txs);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("propagation worker panicked"))
+                .collect()
+        });
+
+        // Coordinator phase: requeue newly pending representatives and
+        // replay statement fan-out, both in shard order (deterministic).
+        let mut stmt: Vec<(PtrId, std::sync::Arc<PointsToSet>)> = Vec::new();
+        let mut timed_out = false;
+        for r in results {
+            self.stats.propagations += r.propagations;
+            self.queue.extend(r.newly_queued);
+            stmt.extend(r.stmt);
+            timed_out |= r.timed_out;
+        }
+        if timed_out {
+            return false;
+        }
+        if let Some(max) = self.budget.max_propagations {
+            if self.stats.propagations > max {
+                return false;
+            }
+        }
+        if let Some(limit) = self.budget.time {
+            if self.started.elapsed() > limit {
+                return false;
+            }
+        }
+        for (ptr, delta) in stmt {
+            // The outbox clones were merged and dropped in the workers'
+            // merge sub-phase, so this unwraps copy-free.
+            self.fan_out(
+                selector,
+                plugin,
+                ptr,
+                std::sync::Arc::unwrap_or_clone(delta),
+            );
+        }
+        true
+    }
+
     // ---- context-insensitive projections (used by clients) ----------------
 
     /// Union of `pt(c:v)` over all contexts `c`, projected to allocation
@@ -1117,7 +1306,7 @@ impl<'p> SolverState<'p> {
                 if *var == v {
                     // Fan collapsed members back out to their
                     // representative's shared set at projection time.
-                    for o in self.pts[self.reps.find(i as u32) as usize].iter() {
+                    for o in self.slots.pts(self.reps.find(i as u32)).iter() {
                         out.push(self.obj_keys[o as usize].1);
                     }
                 }
@@ -1196,23 +1385,49 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
         self.state
             .add_reachable(&self.selector, &self.plugin, CtxId::EMPTY, entry);
         let mut status = SolveStatus::Completed;
-        loop {
-            if self.state.should_collapse() {
-                self.state.collapse_cycles(&self.selector, &self.plugin);
-            }
-            if let Some(ptr) = self.state.queue.pop_front() {
-                // Canonicalize: the pointer may have been merged into an
-                // SCC after it was queued.
-                let ptr = self.state.repr(ptr);
-                let incoming = std::mem::take(&mut self.state.pending[ptr.0 as usize]);
-                if !self.state.step(&self.selector, &self.plugin, ptr, incoming) {
-                    status = SolveStatus::Timeout;
+        if self.state.nthreads > 1 {
+            // Sharded parallel engine: rounds of parallel propagation with
+            // sequential coordinator phases in between. Plugin events are
+            // processed only at quiescent points (empty worklist), exactly
+            // like the sequential loop; the loop terminates on the first
+            // fully quiescent round (no worklist entries, no events).
+            loop {
+                if self.state.should_collapse() {
+                    self.state.collapse_cycles(&self.selector, &self.plugin);
+                }
+                if !self.state.queue.is_empty() {
+                    if !self.state.parallel_round(&self.selector, &self.plugin) {
+                        status = SolveStatus::Timeout;
+                        break;
+                    }
+                } else if let Some(ev) = self.state.events.pop_front() {
+                    self.plugin.handle(&mut self.state, ev);
+                } else {
                     break;
                 }
-            } else if let Some(ev) = self.state.events.pop_front() {
-                self.plugin.handle(&mut self.state, ev);
-            } else {
-                break;
+            }
+        } else {
+            // The sequential engine (threads = 1), byte-for-byte the
+            // pre-parallel behavior: per-pointer steps, events at
+            // quiescence.
+            loop {
+                if self.state.should_collapse() {
+                    self.state.collapse_cycles(&self.selector, &self.plugin);
+                }
+                if let Some(ptr) = self.state.queue.pop_front() {
+                    // Canonicalize: the pointer may have been merged into an
+                    // SCC after it was queued.
+                    let ptr = self.state.repr(ptr);
+                    let incoming = self.state.slots.take_pending(ptr.0);
+                    if !self.state.step(&self.selector, &self.plugin, ptr, incoming) {
+                        status = SolveStatus::Timeout;
+                        break;
+                    }
+                } else if let Some(ev) = self.state.events.pop_front() {
+                    self.plugin.handle(&mut self.state, ev);
+                } else {
+                    break;
+                }
             }
         }
         let elapsed = start.elapsed();

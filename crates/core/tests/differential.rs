@@ -1,12 +1,13 @@
-//! Differential harness for SCC-collapsed propagation.
+//! Differential harness for SCC-collapsed and sharded parallel propagation.
 //!
-//! Cycle collapsing must be *precision-neutral*: for every program and
-//! every analysis configuration, the solver with collapsing enabled must
-//! produce bit-identical projected results to the uncollapsed reference
-//! engine. This harness runs every suite program under the four
-//! configurations of the paper's pipeline — `ci`, `csc`, `zipper`,
-//! `csc-hybrid` — once with collapsing on and once with it off, and
-//! compares:
+//! Both engine variants must be *precision-neutral*: for every program and
+//! every analysis configuration, the solver with cycle collapsing enabled
+//! must produce bit-identical projected results to the uncollapsed
+//! reference engine, and the sharded parallel engine (threads ≥ 2) must
+//! produce bit-identical projected results to the sequential engine for
+//! every thread count. This harness runs every suite program under the
+//! four configurations of the paper's pipeline — `ci`, `csc`, `zipper`,
+//! `csc-hybrid` — across those engine variants and compares:
 //!
 //! * the projected points-to set of **every** variable of the program,
 //! * the projected reachable-method set,
@@ -15,7 +16,11 @@
 //!
 //! The fast tests additionally force a tiny condensation epoch
 //! (`SolverOptions::with_epoch`) so merge/catch-up paths run even on small
-//! programs; the full-suite test uses the production (adaptive) epoch.
+//! programs — for the parallel tests that also forces condensation epochs
+//! to interleave with parallel rounds; the full-suite tests use the
+//! production (adaptive) epoch. Programs come from the process-wide
+//! compiled-IR cache (`csc_workloads::compiled`), so each benchmark is
+//! lowered once per test process, not once per configuration.
 
 use std::collections::BTreeSet;
 
@@ -117,16 +122,96 @@ fn differential(
     )
 }
 
+/// Runs one (program, analysis) pair on the sequential engine and on the
+/// sharded parallel engine at each requested thread count, asserting
+/// bit-identical projections throughout. `base_opts` carries the epoch
+/// configuration so collapse-during-parallel paths get stressed too.
+fn differential_threads(
+    program: &Program,
+    analysis: Analysis,
+    base_opts: SolverOptions,
+    threads: &[usize],
+    what: &str,
+) {
+    let seq = run_analysis_opts(
+        program,
+        analysis.clone(),
+        Budget::unlimited(),
+        base_opts.with_threads(1),
+    );
+    assert!(seq.completed(), "{what}: sequential run hit budget");
+    let p_seq = Projections::capture(program, &seq.result);
+    for &t in threads {
+        let par = run_analysis_opts(
+            program,
+            analysis.clone(),
+            Budget::unlimited(),
+            base_opts.with_threads(t),
+        );
+        assert!(par.completed(), "{what}: {t}-thread run hit budget");
+        let p_par = Projections::capture(program, &par.result);
+        p_par.assert_identical(&p_seq, program, &format!("{what} [threads={t} vs 1]"));
+    }
+}
+
 /// Small programs under an aggressive epoch (condense after every 32 copy
 /// edges) so the merge, catch-up, and requeue paths are exercised hard.
 #[test]
 fn differential_small_suite_aggressive_epochs() {
     for name in ["hsqldb", "findbugs", "jython"] {
-        let program = csc_workloads::by_name(name).unwrap().compile();
+        let program = csc_workloads::compiled(name).unwrap();
         for (label, analysis) in configurations() {
             let what = format!("{name}/{label} (epoch=32)");
-            differential(&program, analysis, SolverOptions::with_epoch(32), &what);
+            differential(program, analysis, SolverOptions::with_epoch(32), &what);
         }
+    }
+}
+
+/// The sharded parallel engine against the sequential engine: small
+/// programs × the four pipeline configurations × {2, 4} threads, with the
+/// aggressive epoch so condensation interleaves with parallel rounds.
+#[test]
+fn differential_parallel_small_suite() {
+    for name in ["hsqldb", "findbugs", "jython"] {
+        let program = csc_workloads::compiled(name).unwrap();
+        for (label, analysis) in configurations() {
+            let what = format!("{name}/{label} (parallel, epoch=32)");
+            differential_threads(
+                program,
+                analysis,
+                SolverOptions::with_epoch(32),
+                &[2, 4],
+                &what,
+            );
+        }
+    }
+}
+
+/// The parallel engine must also commute with the context-sensitive
+/// baselines (context-qualified pointers shard like any other slot) and
+/// with collapsing disabled entirely.
+#[test]
+fn differential_parallel_context_sensitive() {
+    let program = csc_workloads::compiled("findbugs").unwrap();
+    for (label, analysis) in [
+        ("2obj", Analysis::KObj(2)),
+        ("2type", Analysis::KType(2)),
+        ("1cs", Analysis::KCallSite(1)),
+    ] {
+        differential_threads(
+            program,
+            analysis.clone(),
+            SolverOptions::with_epoch(8),
+            &[2, 4],
+            &format!("findbugs/{label} (parallel, epoch=8)"),
+        );
+        differential_threads(
+            program,
+            analysis,
+            SolverOptions::no_collapse(),
+            &[2, 4],
+            &format!("findbugs/{label} (parallel, no-collapse)"),
+        );
     }
 }
 
@@ -142,10 +227,10 @@ fn differential_small_suite_aggressive_epochs() {
 fn differential_full_suite() {
     let mut heavy_savings = Vec::new();
     for bench in csc_workloads::suite() {
-        let program = bench.compile();
+        let program = csc_workloads::compiled(bench.name).unwrap();
         for (label, analysis) in configurations() {
             let what = format!("{}/{label}", bench.name);
-            let (on, off) = differential(&program, analysis, SolverOptions::default(), &what);
+            let (on, off) = differential(program, analysis, SolverOptions::default(), &what);
             if matches!(bench.name, "freecol" | "eclipse") {
                 heavy_savings.push((what, on, off));
             }
@@ -159,12 +244,28 @@ fn differential_full_suite() {
     }
 }
 
+/// The full ten-program suite × four configurations on the parallel engine
+/// at 2 and 4 threads, against the sequential engine, under the production
+/// (adaptive) epoch. Ignored for the same reason as
+/// [`differential_full_suite`]; CI runs it in release mode.
+#[test]
+#[ignore = "full suite x 4 configs x 3 thread counts; run in release mode (see doc comment)"]
+fn differential_parallel_full_suite() {
+    for bench in csc_workloads::suite() {
+        let program = csc_workloads::compiled(bench.name).unwrap();
+        for (label, analysis) in configurations() {
+            let what = format!("{}/{label} (parallel)", bench.name);
+            differential_threads(program, analysis, SolverOptions::default(), &[2, 4], &what);
+        }
+    }
+}
+
 /// Collapsing must also commute with the per-pattern ablations (the Doop
 /// configuration exercises the relay rule hardest).
 #[test]
 fn differential_ablations_on_hsqldb() {
     use csc_core::CscConfig;
-    let program = csc_workloads::by_name("hsqldb").unwrap().compile();
+    let program = csc_workloads::compiled("hsqldb").unwrap();
     for (label, cfg) in [
         ("doop", CscConfig::doop()),
         ("only-field", CscConfig::only_field()),
@@ -173,7 +274,7 @@ fn differential_ablations_on_hsqldb() {
     ] {
         let what = format!("hsqldb/csc-{label} (epoch=32)");
         differential(
-            &program,
+            program,
             Analysis::CutShortcutWith(cfg),
             SolverOptions::with_epoch(32),
             &what,
@@ -185,13 +286,13 @@ fn differential_ablations_on_hsqldb() {
 /// keep them honest too (context-qualified nodes must collapse safely).
 #[test]
 fn differential_context_sensitive_baselines() {
-    let program = csc_workloads::by_name("findbugs").unwrap().compile();
+    let program = csc_workloads::compiled("findbugs").unwrap();
     for (label, analysis) in [
         ("2obj", Analysis::KObj(2)),
         ("2type", Analysis::KType(2)),
         ("1cs", Analysis::KCallSite(1)),
     ] {
         let what = format!("findbugs/{label} (epoch=8)");
-        differential(&program, analysis, SolverOptions::with_epoch(8), &what);
+        differential(program, analysis, SolverOptions::with_epoch(8), &what);
     }
 }

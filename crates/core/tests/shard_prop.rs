@@ -1,0 +1,119 @@
+//! Property tests for the sharded parallel engine's delta plumbing.
+//!
+//! The parallel engine departs from the sequential worklist in two ways
+//! that must be semantics-preserving:
+//!
+//! * cross-shard deltas are *routed*: each worker partitions its outgoing
+//!   `(target, payload)` messages by the target's owning shard, and each
+//!   shard merges the packets it receives in source-shard order — the
+//!   final pending accumulators must not depend on the partitioning;
+//! * deltas are *batched more aggressively*: payloads from many sources
+//!   coalesce in a pending accumulator before one `union_delta` commits
+//!   them, where the sequential engine may commit them one at a time —
+//!   the committed set and the union of observed deltas must agree.
+
+use csc_core::PointsToSet;
+use proptest::prelude::*;
+
+/// Messages: `(target, payload)` pairs; targets dense in `0..TARGETS`.
+const TARGETS: u32 = 12;
+
+fn set_of(elems: &[u32]) -> PointsToSet {
+    elems.iter().copied().collect()
+}
+
+proptest! {
+    /// Routing invariance: merging messages per shard (shard = target %
+    /// nshards, packets visited in source order) yields exactly the same
+    /// per-target pending accumulator as folding the flat message list,
+    /// and the same newly-queued target set, for every shard count.
+    #[test]
+    fn sharded_merge_equals_flat_union(
+        msgs in proptest::collection::vec(
+            (0u32..TARGETS, proptest::collection::vec(0u32..200, 0..12)),
+            0..40,
+        ),
+        nshards in 1usize..5,
+        nsources in 1usize..5,
+    ) {
+        // Reference: fold the flat list in order.
+        let mut flat: Vec<PointsToSet> = (0..TARGETS).map(|_| PointsToSet::new()).collect();
+        for (t, payload) in &msgs {
+            flat[*t as usize].union_with(&set_of(payload));
+        }
+
+        // Engine shape: source workers emit their slice of the messages
+        // round-robin, each destination shard receives one packet per
+        // source and merges in source order.
+        let mut sharded: Vec<PointsToSet> = (0..TARGETS).map(|_| PointsToSet::new()).collect();
+        let mut newly: Vec<u32> = Vec::new();
+        for shard in 0..nshards {
+            // Collect this shard's packets: one per source, in source order.
+            for source in 0..nsources {
+                for (i, (t, payload)) in msgs.iter().enumerate() {
+                    if i % nsources != source || (*t as usize) % nshards != shard {
+                        continue;
+                    }
+                    let payload = set_of(payload);
+                    if payload.is_empty() {
+                        continue;
+                    }
+                    let slot = &mut sharded[*t as usize];
+                    let was_empty = slot.is_empty();
+                    slot.union_with(&payload);
+                    if was_empty {
+                        newly.push(*t);
+                    }
+                }
+            }
+        }
+
+        for t in 0..TARGETS as usize {
+            prop_assert_eq!(
+                &sharded[t], &flat[t],
+                "pending[{}] differs between sharded and flat merge", t
+            );
+        }
+        // Newly-queued = exactly the targets with a non-empty accumulator,
+        // each queued once.
+        let mut expect: Vec<u32> = (0..TARGETS).filter(|&t| !flat[t as usize].is_empty()).collect();
+        let mut got = newly.clone();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Batching invariance: committing a coalesced pending accumulator
+    /// with one `union_delta` produces the same final set, and the same
+    /// union of new elements, as committing the payloads one at a time —
+    /// i.e. a parallel round's coarse batches observe exactly the growth
+    /// the sequential engine's finer steps observe.
+    #[test]
+    fn batched_delta_equals_stepwise_deltas(
+        initial in proptest::collection::vec(0u32..300, 0..40),
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u32..300, 0..20),
+            0..8,
+        ),
+    ) {
+        // Stepwise: one union_delta per payload, deltas unioned.
+        let mut step_pts = set_of(&initial);
+        let mut step_deltas = PointsToSet::new();
+        for p in &payloads {
+            if let Some(d) = step_pts.union_delta(&set_of(p)) {
+                step_deltas.union_with(&d);
+            }
+        }
+
+        // Batched: coalesce in a pending accumulator, commit once.
+        let mut batch_pts = set_of(&initial);
+        let mut pending = PointsToSet::new();
+        for p in &payloads {
+            pending.union_with(&set_of(p));
+        }
+        let batch_delta = batch_pts.union_delta(&pending).unwrap_or_default();
+
+        prop_assert_eq!(&batch_pts, &step_pts);
+        prop_assert_eq!(&batch_delta, &step_deltas);
+    }
+}

@@ -28,4 +28,4 @@ pub mod suite;
 
 pub use gen::{generate, GenConfig};
 pub use jdk::MINI_JDK;
-pub use suite::{by_name, suite, Benchmark};
+pub use suite::{by_name, compiled, suite, xl, Benchmark};

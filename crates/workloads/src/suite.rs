@@ -114,9 +114,48 @@ pub fn suite() -> Vec<Benchmark> {
     ]
 }
 
-/// Looks a benchmark up by name.
+/// The opt-in `xl` stress program: past 10⁵ statements (the scale the
+/// paper's `>2h` rows live at), with the registry/factory and cyclic-flow
+/// knobs turned up so both object-sensitive context explosion and
+/// assign-SCC collapsing have something to chew on. Not part of
+/// [`suite`] — the bench harness appends it only under `CSC_XL=1`, and
+/// it is the row thread-scaling is meant to be measured on.
+pub fn xl() -> Benchmark {
+    Benchmark {
+        name: "xl",
+        config: cfg(0x71a9e, 850, 90, 45, 5, 34, 34, 16, 8),
+    }
+}
+
+/// Looks a benchmark up by name (`"xl"` resolves the opt-in stress
+/// program; everything else resolves within [`suite`]).
 pub fn by_name(name: &str) -> Option<Benchmark> {
+    if name == "xl" {
+        return Some(xl());
+    }
     suite().into_iter().find(|b| b.name == name)
+}
+
+/// Process-wide compiled-IR cache: generates and compiles each benchmark
+/// at most once per process and hands out a `'static` borrow (the ROADMAP
+/// "persistent workloads" item's in-memory step). The bench tables run
+/// five analyses per program and the differential harness runs every
+/// (engine, thread-count) configuration per program — none of them should
+/// re-lower the MiniJava source per row. The leak is deliberate: one
+/// `Program` per benchmark for the life of the process.
+pub fn compiled(name: &str) -> Option<&'static csc_ir::Program> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<String, &'static csc_ir::Program>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("compiled-program cache poisoned");
+    if let Some(&p) = map.get(name) {
+        return Some(p);
+    }
+    let bench = by_name(name)?;
+    let p: &'static csc_ir::Program = Box::leak(Box::new(bench.compile()));
+    map.insert(name.to_owned(), p);
+    Some(p)
 }
 
 #[cfg(test)]
@@ -139,6 +178,30 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert!(by_name("soot").is_some());
+        assert!(by_name("xl").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn compiled_cache_returns_same_program() {
+        let a = compiled("hsqldb").unwrap();
+        let b = compiled("hsqldb").unwrap();
+        assert!(std::ptr::eq(a, b), "second lookup must hit the cache");
+        assert!(compiled("nope").is_none());
+    }
+
+    /// The xl stress program must actually cross the 10⁵-statement bar.
+    /// Ignored by default (generating + lowering ~10⁵ statements is slow
+    /// unoptimized); CI runs it in release mode alongside the differential
+    /// harness.
+    #[test]
+    #[ignore = "compiles a >1e5-statement program; run in release mode"]
+    fn xl_crosses_100k_statements() {
+        let program = xl().compile();
+        assert!(
+            program.stmt_count() > 100_000,
+            "xl too small: {} statements",
+            program.stmt_count()
+        );
     }
 }
