@@ -25,6 +25,13 @@
 //! engine's) is only ever compared against a baseline row with the same
 //! thread count. Snapshots predating the `threads` field parse as
 //! `threads = 1`.
+//!
+//! The `parallel_secs` / `coordinator_secs` phase split each row carries
+//! is **informational**: it is parsed, carried through, and printed next
+//! to the comparison (as the fresh run's coordinator share) so phase
+//! drift is visible in CI logs, but it never trips a tolerance — the
+//! split is a decomposition of wall-clock, and wall-clock is already
+//! gated. Snapshots predating the fields parse as absent and print `-`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -35,6 +42,22 @@ struct Row {
     time_secs: f64,
     completed: bool,
     propagations: u64,
+    /// Seconds inside parallel phases (absent on old snapshots).
+    parallel_secs: Option<f64>,
+    /// Seconds on the coordinator (absent on old snapshots).
+    coordinator_secs: Option<f64>,
+}
+
+impl Row {
+    /// The coordinator's share of wall-clock, when the phase split is
+    /// recorded: `coordinator / (parallel + coordinator)`.
+    fn coord_share(&self) -> Option<f64> {
+        let (p, c) = (self.parallel_secs?, self.coordinator_secs?);
+        if p + c <= 0.0 {
+            return None;
+        }
+        Some(c / (p + c))
+    }
 }
 
 /// Extracts `"key": <value>` from a single JSON row line. The snapshot is
@@ -72,6 +95,8 @@ fn parse(path: &str) -> BTreeMap<Key, Row> {
             propagations: field(line, "propagations")
                 .and_then(|v| v.parse().ok())
                 .expect("propagations field"),
+            parallel_secs: field(line, "parallel_secs").and_then(|v| v.parse().ok()),
+            coordinator_secs: field(line, "coordinator_secs").and_then(|v| v.parse().ok()),
         };
         rows.insert((program, analysis, threads), row);
     }
@@ -127,7 +152,7 @@ fn main() -> ExitCode {
     let fresh = parse(fresh_path);
     let mut failures = 0usize;
     println!(
-        "{:<11} {:<9} {:>3} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9}",
+        "{:<11} {:<9} {:>3} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7}",
         "Program",
         "Analysis",
         "Thr",
@@ -136,7 +161,8 @@ fn main() -> ExitCode {
         "Δtime%",
         "base-props",
         "fresh-props",
-        "Δprops%"
+        "Δprops%",
+        "coord%"
     );
     for ((program, analysis, threads), base) in &baseline {
         let Some(new) = fresh.get(&(program.clone(), analysis.clone(), *threads)) else {
@@ -159,9 +185,14 @@ fn main() -> ExitCode {
             * 100.0;
         let time_bad = dt > time_tol;
         let prop_bad = dp > prop_tol;
+        // Informational only — the phase split never trips a tolerance.
+        let coord = new
+            .coord_share()
+            .map(|s| format!("{:>6.1}%", s * 100.0))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
         println!(
             "{program:<11} {analysis:<9} {threads:>3} {:>11.3}s {:>11.3}s {:>8.1}% {:>14} {:>14} \
-             {:>8.1}%{}",
+             {:>8.1}% {coord}{}",
             base.time_secs,
             new.time_secs,
             dt,

@@ -24,16 +24,23 @@ const PAR_ROW_PROGRAMS: [&str; 3] = ["columba", "soot", "gruntspud"];
 
 fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
     let stats = &row.outcome.result.state.stats;
+    // `stats.threads` is the *resolved* worker count (never the raw
+    // `CSC_THREADS=0` auto value) — bench_diff keys rows by it, and a
+    // literal 0 would alias rows from machines with different core
+    // counts. Pinned by `resolved_thread_count_recorded` below.
     let _ = write!(
         out,
         "    {{\"program\": \"{program}\", \"analysis\": \"{}\", \"threads\": {}, \
          \"time_secs\": {:.6}, \"completed\": {}, \
+         \"parallel_secs\": {:.6}, \"coordinator_secs\": {:.6}, \
          \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}, \
          \"scc_runs\": {}, \"sccs_collapsed\": {}, \"ptrs_collapsed\": {}",
         row.label,
         stats.threads,
         row.outcome.total_time.as_secs_f64(),
         row.outcome.completed(),
+        stats.parallel_secs,
+        stats.coordinator_secs,
         stats.propagations,
         stats.edges,
         stats.pointers,
@@ -134,5 +141,26 @@ fn main() {
     match std::fs::write(&path, snapshot) {
         Ok(()) => eprintln!("perf snapshot written to {path}"),
         Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// `CSC_THREADS=0` (auto) must never record a literal 0 in the
+    /// snapshot: `bench_diff` keys rows by `(program, analysis, threads)`,
+    /// and a verbatim 0 would alias rows recorded on machines with
+    /// different core counts. `json_row` reads `stats.threads`, which the
+    /// solver seeds from the *resolved* count — pin that.
+    #[test]
+    fn resolved_thread_count_recorded() {
+        let program = csc_workloads::compiled("hsqldb").unwrap();
+        let opts = csc_core::SolverOptions::default().with_threads(0);
+        let row = csc_bench::run_row_opts(program, csc_core::Analysis::Ci, opts);
+        let threads = row.outcome.result.state.stats.threads;
+        assert!(
+            threads >= 1,
+            "auto thread count must resolve, got {threads}"
+        );
+        assert_eq!(threads as usize, opts.resolved_threads());
     }
 }

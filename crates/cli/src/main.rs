@@ -67,9 +67,17 @@ fn analyze(
     }
     let stats = &outcome.result.state.stats;
     let engine = if stats.threads > 1 {
+        // The Amdahl split of the run: time inside parallel phases vs the
+        // coordinator (commits, plugin events, graph growth, SCC epochs).
+        let total = stats.parallel_secs + stats.coordinator_secs;
+        let coord_share = if total > 0.0 {
+            stats.coordinator_secs / total * 100.0
+        } else {
+            0.0
+        };
         format!(
-            "{} threads, {} rounds",
-            stats.threads, stats.parallel_rounds
+            "{} threads, {} rounds, {:.0}% coordinator",
+            stats.threads, stats.parallel_rounds, coord_share
         )
     } else {
         "sequential".to_owned()

@@ -160,8 +160,14 @@ pub fn run_analysis_opts<'p>(
             };
             let selector =
                 SelectiveSelector::new(ObjSelector::new(zopts.k), zipper.selected, "Zipper-e");
-            let (result, _) =
+            let (mut result, _) =
                 Solver::with_options(program, selector, NoPlugin, main_budget, opts).solve();
+            // Fold the pre-analysis solve's phase split into the reported
+            // stats, so parallel_secs + coordinator_secs stays a
+            // decomposition of the row's wall-clock for two-phase
+            // analyses too (modulo the selection step between solves).
+            result.state.stats.parallel_secs += pre.state.stats.parallel_secs;
+            result.state.stats.coordinator_secs += pre.state.stats.coordinator_secs;
             let total_time = pre_time + result.elapsed;
             AnalysisOutcome {
                 result,
@@ -215,6 +221,10 @@ pub fn run_analysis_opts<'p>(
             let (mut result, plugin) =
                 Solver::with_options(program, selector, plugin, main_budget, opts).solve();
             result.analysis = "csc-hybrid".to_owned();
+            // As for Zipper-e: keep the phase split a decomposition of the
+            // two-phase row's wall-clock.
+            result.state.stats.parallel_secs += pre.state.stats.parallel_secs;
+            result.state.stats.coordinator_secs += pre.state.stats.coordinator_secs;
             let total_time = pre_time + result.elapsed;
             AnalysisOutcome {
                 result,

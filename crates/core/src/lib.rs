@@ -48,9 +48,11 @@ pub mod fx;
 pub mod pts;
 pub mod scc;
 pub mod solver;
+pub mod table;
 pub mod zipper;
 
 mod analyses;
+mod pool;
 mod shard;
 
 pub use analyses::{run_analysis, run_analysis_opts, Analysis, AnalysisOutcome};
@@ -63,7 +65,8 @@ pub use csc::{pattern_methods, CscConfig, CscStats, CutShortcut};
 pub use pts::PointsToSet;
 pub use scc::OnlineScc;
 pub use solver::{
-    Budget, CsObjId, EdgeKind, Event, NoPlugin, Plugin, PtaResult, PtrId, PtrKey, ShortcutKind,
-    SolveStatus, Solver, SolverOptions, SolverState, SolverStats,
+    Budget, CsObjId, DiscoverCtx, EdgeKind, Event, NoPlugin, Plugin, PtaResult, PtrId, PtrKey,
+    Reaction, ShortcutKind, SolveStatus, Solver, SolverOptions, SolverState, SolverStats,
 };
+pub use table::{ShardKey, ShardedTable};
 pub use zipper::ZipperE;

@@ -1,0 +1,123 @@
+//! A persistent, parked worker pool for the parallel propagation engine.
+//!
+//! The PR-4 engine spawned one `std::thread::scope` *per round*. That is
+//! correct but pays a thread spawn + join per worker per round, and
+//! event-driven solves (Cut-Shortcut especially) execute thousands of tiny
+//! rounds. This pool spawns each worker **once per solve**: the workers
+//! park on a blocking `recv` between rounds, the coordinator hands them
+//! one [`RoundJob`] per round, and they report `(shard, result)` back on a
+//! shared channel.
+//!
+//! ## Ownership protocol (why this is safe Rust)
+//!
+//! Rust cannot express "these borrows are frozen only while the round
+//! runs" through a channel whose type outlives the round, so nothing is
+//! borrowed across the channel at all. Per round the coordinator *moves*:
+//!
+//! * the round-shared read-only state into one [`RoundShared`] behind an
+//!   `Arc` (a handful of `Vec` headers plus the plugin — no element is
+//!   copied), cloned into every job;
+//! * each worker's [`Shard`] (owned mutable state) into its job.
+//!
+//! Workers drop their `Arc` clone *before* reporting, so after the
+//! coordinator has collected all results the `Arc` is unique again and
+//! `Arc::try_unwrap` returns the state for the coordinator phase to
+//! mutate. The per-round cost is one small allocation and a few pointer
+//! moves — versus a spawn/join pair per worker per round before.
+//!
+//! A worker panic is caught, reported as a poisoned result, and re-raised
+//! on the coordinator (and, through the scope, at the solve call site);
+//! the channel protocol inside `run_worker` guarantees peers unblock (a
+//! dropped outbox sender surfaces as a recv error, not a deadlock).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::{Scope, ScopedJoinHandle};
+
+use crate::shard::{run_worker, RoundJob, Shard, WorkerResult};
+use crate::solver::Plugin;
+
+/// One worker's report: its index, and `None` when the round panicked.
+type Report = (usize, Option<(Shard, WorkerResult)>);
+
+/// The pool: per-worker job senders plus the shared report channel. Lives
+/// inside a [`std::thread::scope`] that spans the whole parallel solve;
+/// dropping it (or unwinding out of the scope body) closes the job
+/// channels, which is each parked worker's shutdown signal.
+pub(crate) struct WorkerPool<'scope, 'p, P> {
+    job_txs: Vec<Sender<RoundJob<'p, P>>>,
+    report_rx: Receiver<Report>,
+    _handles: Vec<ScopedJoinHandle<'scope, ()>>,
+}
+
+impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p, P> {
+    /// Spawns `n` parked workers into `scope`.
+    pub(crate) fn start<'env>(scope: &'scope Scope<'scope, 'env>, n: usize) -> Self {
+        let (report_tx, report_rx) = channel::<Report>();
+        let mut job_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for me in 0..n {
+            let (tx, rx) = channel::<RoundJob<'p, P>>();
+            let report_tx = report_tx.clone();
+            handles.push(scope.spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let RoundJob {
+                        shared,
+                        mut shard,
+                        batch,
+                        txs,
+                        rx: inbox,
+                    } = job;
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(me, &shared, &mut shard, batch, txs, inbox)
+                    }));
+                    // Release the round state *before* reporting: the
+                    // coordinator reclaims the Arc's contents as soon as
+                    // every report is in.
+                    drop(shared);
+                    match outcome {
+                        Ok(result) => {
+                            if report_tx.send((me, Some((shard, result)))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(payload) => {
+                            let _ = report_tx.send((me, None));
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }));
+            job_txs.push(tx);
+        }
+        WorkerPool {
+            job_txs,
+            report_rx,
+            _handles: handles,
+        }
+    }
+
+    /// Runs one round: sends `jobs[i]` to worker `i`, blocks until every
+    /// worker reports, and returns the results ordered by shard index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker's round panicked (after all reports are in, so
+    /// no worker is left holding round state).
+    pub(crate) fn round(&self, jobs: Vec<RoundJob<'p, P>>) -> Vec<(Shard, WorkerResult)> {
+        let n = jobs.len();
+        debug_assert_eq!(n, self.job_txs.len());
+        for (tx, job) in self.job_txs.iter().zip(jobs) {
+            tx.send(job).expect("propagation worker died");
+        }
+        let mut slots: Vec<Option<(Shard, WorkerResult)>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (me, outcome) = self.report_rx.recv().expect("propagation worker died");
+            slots[me] = outcome;
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("propagation worker panicked"))
+            .collect()
+    }
+}

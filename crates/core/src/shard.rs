@@ -1,4 +1,5 @@
-//! Sharded pointer-slot storage and the parallel propagation workers.
+//! Sharded pointer-slot storage, the sharded statement index, and the
+//! parallel propagation workers.
 //!
 //! The multi-threaded engine partitions pointer slots across `N` shards by
 //! SCC representative: slot `i` lives in shard `i % N`, and because every
@@ -8,33 +9,51 @@
 //! pending-delta accumulators of its representatives — so the hot set
 //! unions of a propagation round run without any locking at all.
 //!
-//! One bulk-synchronous round has two sub-phases per worker:
+//! One bulk-synchronous round has three sub-phases per worker:
 //!
 //! 1. **propagate** — drain the round's batch of `(representative,
 //!    incoming delta)` pairs: union each delta into the owned points-to
 //!    set, and turn the genuinely new elements into outbox messages for
 //!    the successors' owning shards (cast filters applied worker-side);
-//! 2. **merge** — receive one outbox from every peer (mpsc channels; the
+//! 2. **fan-out discovery** — replay statement fan-out for the committed
+//!    deltas *worker-side*: walk the [`StmtIndex`] for every member of the
+//!    delta's SCC and emit [`Derived`] packets — derived `[Load]`/`[Store]`
+//!    edges (per new object), `[Call]` resolutions (virtual dispatch runs
+//!    on the worker), and plugin reactions discovered through
+//!    [`Plugin::discover`] against the per-shard obligation tables. The
+//!    packets describe mutations by *key*, not by id, so this sub-phase
+//!    touches no shared mutable state; it runs after the outboxes are sent,
+//!    overlapping peers' propagate sub-phase;
+//! 3. **merge** — receive one outbox from every peer (mpsc channels; the
 //!    receive-from-all acts as the phase barrier), sort the packets by
 //!    source shard so the merge order is deterministic, and union the
 //!    payloads into the owned pending accumulators, recording which
 //!    representatives became newly pending.
 //!
-//! Everything that grows the graph — statement fan-out, call-graph
-//! construction, plugin events, SCC re-condensation — happens on the
-//! coordinator between rounds (see `solver.rs`), which is what keeps the
-//! parallel engine's results deterministic and its projections
-//! bit-identical to the sequential engine's.
+//! The coordinator then *commits* the derived packets in deterministic
+//! (shard, batch, packet) order: interning, PFG/call-graph mutation,
+//! context selection, and plugin table updates all stay single-threaded,
+//! which is what keeps runs deterministic per thread count and projections
+//! bit-identical to the sequential engine's (see `solver.rs`).
+//!
+//! The statement index itself ([`StmtIndex`]) is built once per solve and
+//! is read-only thereafter; it is "sharded by access" — each worker reads
+//! the rows of the pointers it owns — rather than physically partitioned,
+//! because its rows are keyed by variable while shard ownership is keyed
+//! by (representative) pointer: one variable's row serves every context
+//! qualification of that variable, and those pointers hash to different
+//! shards.
 
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-use csc_ir::{ClassId, ObjId, Program};
+use csc_ir::{CallKind, CallSiteId, ClassId, LoadId, ObjId, Program, StoreId};
 
 use crate::context::CtxId;
+use crate::fx::FxHashMap;
 use crate::pts::PointsToSet;
 use crate::scc::UnionFind;
-use crate::solver::PtrId;
+use crate::solver::{DiscoverCtx, Plugin, PtrId, PtrKey, Reaction};
 
 /// One shard of the pointer-slot plane: the points-to sets and pending
 /// accumulators of every slot `i` with `i % nshards == shard_index`. Local
@@ -146,6 +165,40 @@ impl ShardedSlots {
     }
 }
 
+/// Per-variable static usage index (which loads/stores/calls have the
+/// variable as base/receiver), built once per solve and read-only
+/// thereafter — the workers' fan-out discovery and the sequential engine's
+/// statement processing both walk it.
+#[derive(Default)]
+pub(crate) struct StmtIndex {
+    pub(crate) loads_with_base: Vec<Vec<LoadId>>,
+    pub(crate) stores_with_base: Vec<Vec<StoreId>>,
+    pub(crate) calls_with_recv: Vec<Vec<CallSiteId>>,
+}
+
+impl StmtIndex {
+    pub(crate) fn build(program: &Program) -> Self {
+        let n = program.vars().len();
+        let mut idx = StmtIndex {
+            loads_with_base: vec![Vec::new(); n],
+            stores_with_base: vec![Vec::new(); n],
+            calls_with_recv: vec![Vec::new(); n],
+        };
+        for (i, l) in program.loads().iter().enumerate() {
+            idx.loads_with_base[l.base().index()].push(LoadId::from_usize(i));
+        }
+        for (i, s) in program.stores().iter().enumerate() {
+            idx.stores_with_base[s.base().index()].push(StoreId::from_usize(i));
+        }
+        for (i, c) in program.call_sites().iter().enumerate() {
+            if let Some(r) = c.recv() {
+                idx.calls_with_recv[r.index()].push(CallSiteId::from_usize(i));
+            }
+        }
+        idx
+    }
+}
+
 /// Restricts a delta to the objects assignable to `class` (`checkcast`
 /// semantics). Free function so the parallel workers can filter without a
 /// `SolverState` borrow.
@@ -163,6 +216,64 @@ pub(crate) fn filter_pts(
         .collect()
 }
 
+/// A work item a worker *derived* from a committed delta and hands to the
+/// coordinator for commit. Mutation descriptions travel by key (context ×
+/// site, object × field), never by pointer id the coordinator has not
+/// interned yet — interning order therefore stays a coordinator-only
+/// concern and runs in deterministic packet order.
+///
+/// Load/store fan-out is one packet per *site activation* — the committed
+/// delta rides along with the packet group, and the coordinator iterates
+/// it during commit exactly like the sequential `process_var_stmts` loop,
+/// so a delta of `k` objects hitting `s` sites costs `s` packets, not
+/// `s × k`. Call resolutions are per (site, object) because that is where
+/// the worker does real work: virtual dispatch runs worker-side.
+pub(crate) enum Derived {
+    /// `[Load]` fan-out at one load site under one context: the edges
+    /// `obj.field -> (ctx, lhs)` for every `obj` in the delta.
+    LoadFan { site: LoadId, ctx: CtxId },
+    /// `[Store]` fan-out at one store site under one context (cut stores
+    /// were filtered worker-side through [`Plugin::is_store_cut`]): the
+    /// edges `(ctx, rhs) -> obj.field` for every `obj` in the delta.
+    StoreFan { site: StoreId, ctx: CtxId },
+    /// A `[Call]`-rule resolution: virtual dispatch already performed on
+    /// the worker; the coordinator selects the callee context and commits
+    /// the call edge.
+    Call {
+        caller_ctx: CtxId,
+        site: CallSiteId,
+        recv: u32,
+        callee: csc_ir::MethodId,
+    },
+    /// A plugin reaction discovered worker-side ([`Plugin::discover`]);
+    /// committed through [`Plugin::apply`]. Boxed so the rare reaction
+    /// variant (it can carry a whole points-to set) does not inflate every
+    /// packet in the stream.
+    React(Box<Reaction>),
+}
+
+/// Everything the workers share for the duration of one parallel round.
+///
+/// The coordinator *moves* these pieces out of the solver state into one
+/// `Arc` per round, the workers read them, and the coordinator reclaims
+/// them (`Arc::try_unwrap`) after the round barrier — safe Rust's way of
+/// expressing "frozen during the round, mutable between rounds" without
+/// cloning anything but an `Arc` header per round.
+pub(crate) struct RoundShared<'p, P> {
+    pub(crate) succ: Vec<Vec<(PtrId, Option<ClassId>)>>,
+    pub(crate) reps: UnionFind,
+    pub(crate) members: FxHashMap<u32, Vec<u32>>,
+    pub(crate) ptr_keys: Vec<PtrKey>,
+    pub(crate) obj_keys: Vec<(CtxId, ObjId)>,
+    pub(crate) stmts: StmtIndex,
+    pub(crate) program: &'p Program,
+    pub(crate) plugin: P,
+    /// Whether [`Plugin::discover`] runs worker-side this round.
+    pub(crate) discovery: bool,
+    pub(crate) nshards: u32,
+    pub(crate) deadline: Option<std::time::Instant>,
+}
+
 /// An outbox packet: `(source shard, messages)` where each message is a
 /// `(destination representative, delta)` pair. Deltas travel by `Arc` —
 /// an unfiltered delta fanning out to many successors ships one shared
@@ -171,14 +282,36 @@ pub(crate) fn filter_pts(
 /// union copies elements.
 pub(crate) type Packet = (usize, Vec<(u32, Arc<PointsToSet>)>);
 
+/// One round's input to a pooled worker (see `crate::pool`).
+pub(crate) struct RoundJob<'p, P> {
+    pub(crate) shared: Arc<RoundShared<'p, P>>,
+    pub(crate) shard: Shard,
+    pub(crate) batch: Vec<(u32, PointsToSet)>,
+    /// `txs[d]` reaches shard `d`'s worker (including self).
+    pub(crate) txs: Vec<Sender<Packet>>,
+    /// This worker's inbox for the round.
+    pub(crate) rx: Receiver<Packet>,
+}
+
+/// One committed delta with its worker-derived packets:
+/// `(representative, committed delta, derived work)`.
+pub(crate) type DeltaCommit = (PtrId, Arc<PointsToSet>, u32);
+
 /// What one worker hands back to the coordinator after a round.
 pub(crate) struct WorkerResult {
-    /// `(representative, committed delta)` pairs, in batch order — the
-    /// coordinator replays statement/event fan-out from these. By the
-    /// time the coordinator runs, all outbox clones of a delta have been
-    /// merged and dropped, so the `Arc` is unique again and unwraps
+    /// Committed deltas in batch order — the coordinator commits the
+    /// derived packets and (for plugins without worker-side discovery)
+    /// replays `NewPointsTo` events from these. The third element is the
+    /// *exclusive end* of the delta's packet range in `derived` (ranges
+    /// are contiguous and start where the previous delta's ended), so the
+    /// whole round's packet stream lives in one allocation per worker. By
+    /// the time the coordinator runs, all outbox clones of a delta have
+    /// been merged and dropped, so the `Arc` is unique again and unwraps
     /// without a copy.
-    pub(crate) stmt: Vec<(PtrId, Arc<PointsToSet>)>,
+    pub(crate) stmt: Vec<DeltaCommit>,
+    /// The round's derived packets, all deltas concatenated in batch
+    /// order; `stmt` carries the range boundaries.
+    pub(crate) derived: Vec<Derived>,
     /// Representatives whose pending accumulator went from empty to
     /// non-empty during the merge sub-phase, in deterministic order.
     pub(crate) newly_queued: Vec<PtrId>,
@@ -190,33 +323,99 @@ pub(crate) struct WorkerResult {
     pub(crate) timed_out: bool,
 }
 
+/// Replays statement fan-out and plugin discovery for one committed delta,
+/// worker-side. Mirrors the member enumeration of the sequential engine's
+/// `fan_out`: every member of a collapsed SCC sees the shared set's growth
+/// exactly as it would uncollapsed. Emits packets in the deterministic
+/// order the coordinator commits them: per member (ascending,
+/// representative first) — loads, stores, calls, then plugin reactions.
+fn discover_fan_out<P: Plugin>(
+    shared: &RoundShared<'_, P>,
+    rep: u32,
+    delta: &PointsToSet,
+    out: &mut Vec<Derived>,
+) {
+    let group: &[u32] = shared
+        .members
+        .get(&rep)
+        .map(Vec::as_slice)
+        .unwrap_or(std::slice::from_ref(&rep));
+    let dctx = DiscoverCtx {
+        obj_keys: &shared.obj_keys,
+        program: shared.program,
+    };
+    for &m in group {
+        if let PtrKey::Var(ctx, v) = shared.ptr_keys[m as usize] {
+            // [Load]
+            for &l in &shared.stmts.loads_with_base[v.index()] {
+                out.push(Derived::LoadFan { site: l, ctx });
+            }
+            // [Store] (cut-aware; `is_store_cut` is a pure predicate, so
+            // evaluating it worker-side matches the sequential engine).
+            for &s in &shared.stmts.stores_with_base[v.index()] {
+                if shared.plugin.is_store_cut(s) {
+                    continue;
+                }
+                out.push(Derived::StoreFan { site: s, ctx });
+            }
+            // [Call]: virtual dispatch resolves worker-side; spurious
+            // receivers (no concrete impl) are dropped here, like the
+            // sequential engine's early return.
+            for &site in &shared.stmts.calls_with_recv[v.index()] {
+                let cs = shared.program.call_site(site);
+                for recv in delta.iter() {
+                    let (_, obj) = shared.obj_keys[recv as usize];
+                    let callee = match cs.kind() {
+                        CallKind::Virtual => {
+                            let class = shared.program.obj(obj).class();
+                            match shared.program.dispatch(class, cs.target()) {
+                                Some(m) => m,
+                                None => continue,
+                            }
+                        }
+                        CallKind::Special => cs.target(),
+                        CallKind::Static => unreachable!("static calls have no receiver"),
+                    };
+                    out.push(Derived::Call {
+                        caller_ctx: ctx,
+                        site,
+                        recv,
+                        callee,
+                    });
+                }
+            }
+        }
+        if shared.discovery {
+            let mut reactions = Vec::new();
+            shared
+                .plugin
+                .discover(PtrId(m), delta, &dctx, &mut reactions);
+            out.extend(reactions.into_iter().map(|r| Derived::React(Box::new(r))));
+        }
+    }
+}
+
 /// Runs one worker's share of a bulk-synchronous propagation round. See
-/// the module docs for the two sub-phases. `txs[d]` reaches shard `d`'s
-/// worker (including `me`); `rx` is this worker's inbox. `deadline` is
-/// the wall-clock budget's cutoff: checked every 1024 propagations like
-/// the sequential engine, so a single oversized round cannot overshoot
-/// the budget unboundedly — on expiry the worker restores its remaining
-/// deltas to pending and still completes the channel protocol (both
+/// the module docs for the three sub-phases. `shared.deadline` is the
+/// wall-clock budget's cutoff: checked every 1024 propagations like the
+/// sequential engine, so a single oversized round cannot overshoot the
+/// budget unboundedly — on expiry the worker restores its remaining
+/// deltas to pending and still completes the channel protocol (all
 /// sub-phases must run or peers would deadlock).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_worker(
+pub(crate) fn run_worker<P: Plugin>(
     me: usize,
-    nshards: u32,
+    shared: &RoundShared<'_, P>,
     shard: &mut Shard,
     batch: Vec<(u32, PointsToSet)>,
     txs: Vec<Sender<Packet>>,
     rx: Receiver<Packet>,
-    succ: &[Vec<(PtrId, Option<ClassId>)>],
-    reps: &UnionFind,
-    obj_keys: &[(CtxId, ObjId)],
-    program: &Program,
-    deadline: Option<std::time::Instant>,
 ) -> WorkerResult {
+    let nshards = shared.nshards;
     // Sub-phase 1: propagate. Union incoming deltas into the owned
     // points-to sets; route genuinely new elements to the successors'
     // owning shards.
     let mut out: Vec<Vec<(u32, Arc<PointsToSet>)>> = vec![Vec::new(); nshards as usize];
-    let mut stmt: Vec<(PtrId, Arc<PointsToSet>)> = Vec::with_capacity(batch.len());
+    let mut stmt: Vec<DeltaCommit> = Vec::with_capacity(batch.len());
     let mut propagations = 0u64;
     let mut timed_out = false;
     for (rep, incoming) in batch {
@@ -232,30 +431,32 @@ pub(crate) fn run_worker(
             continue;
         };
         propagations += 1;
-        if let Some(d) = deadline {
+        if let Some(d) = shared.deadline {
             if propagations.is_multiple_of(1024) && std::time::Instant::now() > d {
                 timed_out = true;
             }
         }
         let delta = Arc::new(delta);
-        for &(t, filter) in &succ[rep as usize] {
+        for &(t, filter) in &shared.succ[rep as usize] {
             // Stored targets may be stale (merged away); canonicalize like
             // the sequential engine's enqueue does. A target canonicalizing
             // back onto the source is a no-op (the delta is already in the
             // shared set).
-            let trep = reps.find(t.0);
+            let trep = shared.reps.find(t.0);
             if trep == rep {
                 continue;
             }
             let payload = match filter {
                 None => Arc::clone(&delta),
-                Some(class) => Arc::new(filter_pts(&delta, class, obj_keys, program)),
+                Some(class) => {
+                    Arc::new(filter_pts(&delta, class, &shared.obj_keys, shared.program))
+                }
             };
             if !payload.is_empty() {
                 out[(trep % nshards) as usize].push((trep, payload));
             }
         }
-        stmt.push((PtrId(rep), delta));
+        stmt.push((PtrId(rep), delta, 0));
     }
     for (d, tx) in txs.iter().enumerate() {
         tx.send((me, std::mem::take(&mut out[d])))
@@ -263,7 +464,18 @@ pub(crate) fn run_worker(
     }
     drop(txs);
 
-    // Sub-phase 2: merge. Receiving one packet from every shard (self
+    // Sub-phase 2: fan-out discovery, overlapping the peers' propagate
+    // sub-phase (the outboxes are already on the wire). Reads only the
+    // frozen round state — packets carry keys, not interned ids. All
+    // deltas share one flat packet vector; `stmt` records each delta's
+    // exclusive range end.
+    let mut derived: Vec<Derived> = Vec::new();
+    for (rep, delta, end) in &mut stmt {
+        discover_fan_out(shared, rep.0, delta, &mut derived);
+        *end = u32::try_from(derived.len()).expect("packet count fits u32");
+    }
+
+    // Sub-phase 3: merge. Receiving one packet from every shard (self
     // included) doubles as the round barrier; sorting by source shard
     // makes the merge order — and therefore the newly-queued order —
     // deterministic regardless of thread scheduling.
@@ -285,6 +497,7 @@ pub(crate) fn run_worker(
     }
     WorkerResult {
         stmt,
+        derived,
         newly_queued,
         propagations,
         timed_out,

@@ -58,14 +58,32 @@
 //! never straddles shards), each worker thread owns one shard's `pts` and
 //! `pending` halves, and a round unions the drained worklist deltas in
 //! parallel, exchanging cross-shard deltas through per-shard outboxes.
-//! Everything that grows the graph — statement fan-out, call-graph
-//! construction, plugin events, condensation epochs — runs on the
-//! coordinator between rounds, and all cross-thread merge orders are
-//! sorted by source shard, so a run is deterministic for a fixed thread
-//! count and its *projected* results are bit-identical to the sequential
-//! engine's for every thread count (enforced by the differential
-//! harness). `threads = 1` takes the original sequential loop untouched,
-//! propagation counts included.
+//! The workers are spawned **once per solve** into a persistent parked
+//! pool ([`crate::pool`]) — event-driven solves execute thousands of tiny
+//! rounds, and a spawn/join pair per worker per round used to dominate
+//! them.
+//!
+//! ### The parallel coordinator
+//!
+//! Statement fan-out no longer runs on the coordinator: each worker
+//! replays the `[Load]`/`[Store]`/`[Call]` discovery (including virtual
+//! dispatch) and the plugin's [`Plugin::discover`] reactions for the
+//! deltas it committed, against a round-frozen snapshot of the statement
+//! index, SCC membership, and the per-shard obligation tables, and emits
+//! *derived-edge* and *call-resolution* packets ([`crate::shard::Derived`])
+//! describing the resulting mutations by key. What remains on the (now
+//! much thinner) coordinator is the commit half: interning, PFG and
+//! call-graph growth, context selection, plugin-table updates, event
+//! delivery, and condensation epochs — all replayed in deterministic
+//! (shard, batch, packet) order. [`SolverStats::parallel_secs`] and
+//! [`SolverStats::coordinator_secs`] time the two phases so the Amdahl
+//! split is measurable per run.
+//!
+//! Cross-thread merge orders are sorted by source shard, so a run is
+//! deterministic for a fixed thread count and its *projected* results are
+//! bit-identical to the sequential engine's for every thread count
+//! (enforced by the differential harness). `threads = 1` takes the
+//! original sequential loop untouched, propagation counts included.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -171,6 +189,64 @@ pub enum Event {
     },
 }
 
+/// The read-only solver facts available to worker-side discovery
+/// ([`Plugin::discover`]): enough to classify the objects of a delta
+/// without touching (or being able to touch) the mutable solver state.
+pub struct DiscoverCtx<'a> {
+    /// `CsObjId` → (heap context, allocation site), indexed by raw id.
+    pub obj_keys: &'a [(CtxId, ObjId)],
+    /// The program under analysis.
+    pub program: &'a Program,
+}
+
+impl DiscoverCtx<'_> {
+    /// The (heap context, allocation site) behind a context-qualified
+    /// object.
+    pub fn obj_key(&self, o: CsObjId) -> (CtxId, ObjId) {
+        self.obj_keys[o.0 as usize]
+    }
+}
+
+/// A plugin reaction discovered on a worker thread and committed on the
+/// coordinator through [`Plugin::apply`]. Reactions name their targets by
+/// key (field, already-interned pointer), never by a pointer id the
+/// coordinator has not interned yet, so discovery cannot observe or
+/// constrain interning order. The delta the reaction was discovered for
+/// is *not* embedded: `apply` receives it alongside the reaction, so a
+/// delta of `k` objects hitting an obligation costs one reaction, not
+/// `k` (mirroring the `LoadFan`/`StoreFan` per-site-activation economy).
+#[derive(Clone, Debug)]
+pub enum Reaction {
+    /// Add shortcut edges `src -> o.field` for every object `o` of the
+    /// delta.
+    ShortcutToFields {
+        /// Source pointer (already interned — obligations carry it).
+        src: PtrId,
+        /// Target field.
+        field: FieldId,
+        /// Which Cut-Shortcut rule the edges belong to.
+        kind: ShortcutKind,
+    },
+    /// Add shortcut edges `o.field -> dst` for every object `o` of the
+    /// delta.
+    ShortcutFromFields {
+        /// Source field.
+        field: FieldId,
+        /// Target pointer (already interned).
+        dst: PtrId,
+        /// Which Cut-Shortcut rule the edges belong to.
+        kind: ShortcutKind,
+    },
+    /// Objects of the delta classified as container hosts (`[ColHost]` /
+    /// `[MapHost]`): merge into the pointer-host map and propagate.
+    Hosts {
+        /// The pointer whose host set grew.
+        ptr: PtrId,
+        /// The new host objects.
+        hosts: PointsToSet,
+    },
+}
+
 /// A solver extension. The Cut-Shortcut analysis is the canonical
 /// implementation; [`NoPlugin`] is the identity.
 pub trait Plugin {
@@ -192,7 +268,9 @@ pub trait Plugin {
     }
 
     /// `[Store]` cut check: whether the given store site's PFG edges are
-    /// suppressed (`cutStores`).
+    /// suppressed (`cutStores`). Must be a pure predicate of the plugin's
+    /// current tables — the parallel engine evaluates it on worker threads
+    /// against the round-frozen plugin.
     fn is_store_cut(&self, site: StoreId) -> bool {
         let _ = site;
         false
@@ -203,6 +281,42 @@ pub trait Plugin {
     fn is_return_cut(&self, m: MethodId) -> bool {
         let _ = m;
         false
+    }
+
+    /// Whether [`Plugin::discover`] replaces `NewPointsTo` event delivery
+    /// on the parallel engine. When `true`, parallel rounds run the
+    /// plugin's points-to reactions worker-side (discovery) and commit
+    /// them through [`Plugin::apply`], and no `NewPointsTo` events are
+    /// queued for deltas those rounds commit; `NewCallEdge` / `NewEdge` /
+    /// `NewReachable` events are unaffected. The sequential engine ignores
+    /// this entirely.
+    fn parallel_discovery(&self) -> bool {
+        false
+    }
+
+    /// Worker-side discovery: reactions to `delta` being added to
+    /// `pt(ptr)`. Runs on worker threads against the round-frozen plugin
+    /// (`&self`), so it must only *read* plugin tables and describe the
+    /// mutations as [`Reaction`]s; the coordinator commits them through
+    /// [`Plugin::apply`] in deterministic packet order. Registration
+    /// replay (obligations added later re-scan the current points-to set)
+    /// must make the discover/apply split insensitive to the round
+    /// boundary — the Cut-Shortcut tables are built that way.
+    fn discover(
+        &self,
+        ptr: PtrId,
+        delta: &PointsToSet,
+        dctx: &DiscoverCtx<'_>,
+        out: &mut Vec<Reaction>,
+    ) {
+        let _ = (ptr, delta, dctx, out);
+    }
+
+    /// Commits one worker-discovered [`Reaction`] (coordinator-side).
+    /// `delta` is the points-to growth the reaction was discovered for —
+    /// per-object reactions iterate it here, at commit time.
+    fn apply(&mut self, st: &mut SolverState<'_>, delta: &PointsToSet, reaction: Reaction) {
+        let _ = (st, delta, reaction);
     }
 }
 
@@ -273,6 +387,16 @@ pub struct SolverStats {
     /// Bulk-synchronous parallel rounds executed (0 on the sequential
     /// path).
     pub parallel_rounds: u64,
+    /// Wall-clock seconds spent inside parallel phases (workers running,
+    /// coordinator waiting at the round barrier). Always 0 on the
+    /// sequential engine.
+    pub parallel_secs: f64,
+    /// Wall-clock seconds spent outside parallel phases: packet commits,
+    /// plugin events, call-graph growth, condensation epochs, inline small
+    /// rounds. On the sequential engine this is the whole solve, so
+    /// `parallel_secs / (parallel_secs + coordinator_secs)` is the
+    /// measured Amdahl split of a run.
+    pub coordinator_secs: f64,
 }
 
 /// Engine tuning knobs, independent of the analysis policy (context
@@ -340,37 +464,6 @@ impl SolverOptions {
                 .unwrap_or(1),
             n => n,
         }
-    }
-}
-
-/// Per-variable static usage index (which loads/stores/calls have the
-/// variable as base/receiver), built once per program.
-struct VarUses {
-    loads_with_base: Vec<Vec<LoadId>>,
-    stores_with_base: Vec<Vec<StoreId>>,
-    calls_with_recv: Vec<Vec<CallSiteId>>,
-}
-
-impl VarUses {
-    fn build(program: &Program) -> Self {
-        let n = program.vars().len();
-        let mut uses = VarUses {
-            loads_with_base: vec![Vec::new(); n],
-            stores_with_base: vec![Vec::new(); n],
-            calls_with_recv: vec![Vec::new(); n],
-        };
-        for (i, l) in program.loads().iter().enumerate() {
-            uses.loads_with_base[l.base().index()].push(LoadId::from_usize(i));
-        }
-        for (i, s) in program.stores().iter().enumerate() {
-            uses.stores_with_base[s.base().index()].push(StoreId::from_usize(i));
-        }
-        for (i, c) in program.call_sites().iter().enumerate() {
-            if let Some(r) = c.recv() {
-                uses.calls_with_recv[r.index()].push(CallSiteId::from_usize(i));
-            }
-        }
-        uses
     }
 }
 
@@ -444,7 +537,10 @@ pub struct SolverState<'p> {
     call_edges: Vec<(CtxId, CallSiteId, CtxId, MethodId)>,
     call_edges_by_callee: FxHashMap<MethodId, Vec<(CtxId, CallSiteId, CtxId)>>,
 
-    uses: VarUses,
+    /// Per-variable statement usage index (see [`crate::shard::StmtIndex`]):
+    /// read by the sequential engine's statement processing and, frozen per
+    /// round, by the parallel workers' fan-out discovery.
+    stmts: crate::shard::StmtIndex,
 
     /// Counters.
     pub stats: SolverStats,
@@ -486,7 +582,7 @@ impl<'p> SolverState<'p> {
             call_edge_set: FxHashSet::default(),
             call_edges: Vec::new(),
             call_edges_by_callee: FxHashMap::default(),
-            uses: VarUses::build(program),
+            stmts: crate::shard::StmtIndex::build(program),
             stats,
             budget,
             started: Instant::now(),
@@ -575,6 +671,23 @@ impl<'p> SolverState<'p> {
     /// Number of interned context-qualified objects.
     pub fn obj_count(&self) -> usize {
         self.obj_keys.len()
+    }
+
+    /// The resolved propagation worker count (≥ 1) this solve runs with —
+    /// also the shard count plugins should size their
+    /// [`crate::ShardedTable`]s to (in [`Plugin::init`]).
+    pub fn threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// The read-only facts [`Plugin::discover`] sees — also usable on the
+    /// coordinator, so the event path and the worker path share one
+    /// discovery implementation.
+    pub fn discover_ctx(&self) -> DiscoverCtx<'_> {
+        DiscoverCtx {
+            obj_keys: &self.obj_keys,
+            program: self.program,
+        }
     }
 
     /// Canonical representative of a pointer: identity unless the pointer
@@ -946,8 +1059,8 @@ impl<'p> SolverState<'p> {
         delta: &PointsToSet,
     ) {
         // [Load]
-        for i in 0..self.uses.loads_with_base[v.index()].len() {
-            let l = self.uses.loads_with_base[v.index()][i];
+        for i in 0..self.stmts.loads_with_base[v.index()].len() {
+            let l = self.stmts.loads_with_base[v.index()][i];
             let site = self.program.load(l);
             let (lhs, field) = (site.lhs(), site.field());
             let t = self.var_ptr(ctx, lhs);
@@ -957,8 +1070,8 @@ impl<'p> SolverState<'p> {
             }
         }
         // [Store] (cut-aware)
-        for i in 0..self.uses.stores_with_base[v.index()].len() {
-            let st = self.uses.stores_with_base[v.index()][i];
+        for i in 0..self.stmts.stores_with_base[v.index()].len() {
+            let st = self.stmts.stores_with_base[v.index()][i];
             if plugin.is_store_cut(st) {
                 continue;
             }
@@ -971,8 +1084,8 @@ impl<'p> SolverState<'p> {
             }
         }
         // [Call]
-        for i in 0..self.uses.calls_with_recv[v.index()].len() {
-            let site = self.uses.calls_with_recv[v.index()][i];
+        for i in 0..self.stmts.calls_with_recv[v.index()].len() {
+            let site = self.stmts.calls_with_recv[v.index()][i];
             for o in delta.iter() {
                 self.process_instance_call(selector, plugin, ctx, site, CsObjId(o));
             }
@@ -1177,22 +1290,38 @@ impl<'p> SolverState<'p> {
 
     // ---- sharded parallel propagation -------------------------------------
 
-    /// One bulk-synchronous parallel propagation round.
+    /// One bulk-synchronous parallel propagation round, dispatched onto
+    /// the persistent worker pool.
     ///
     /// The coordinator drains the whole worklist into per-shard batches
     /// (slot id modulo shard count — representatives only, so a collapsed
-    /// SCC never straddles shards), then scoped workers run the two
-    /// lock-free sub-phases of [`crate::shard::run_worker`]: union the
-    /// batched deltas into their owned points-to sets and route the new
-    /// elements through per-shard outboxes into the owners' pending
-    /// accumulators. Back on the coordinator, the committed deltas replay
-    /// statement/event fan-out in deterministic (shard, batch) order —
-    /// everything that can grow the graph (edges, call edges, contexts,
-    /// plugin reactions, SCC epochs) stays single-threaded between rounds,
-    /// which is what keeps runs deterministic for a fixed thread count.
+    /// SCC never straddles shards), freezes the round-shared state (succ /
+    /// reps / members / keys / statement index / plugin) into one
+    /// [`crate::shard::RoundShared`], and hands each pooled worker its
+    /// shard plus its batch. The workers run the three sub-phases of
+    /// [`crate::shard::run_worker`]: union the batched deltas into their
+    /// owned points-to sets and route the new elements through per-shard
+    /// outboxes, replay statement fan-out and plugin discovery for the
+    /// committed deltas as [`crate::shard::Derived`] packets, and merge
+    /// the inboxes into the owners' pending accumulators. Back on the
+    /// coordinator, [`SolverState::commit_derived`] commits the packets in
+    /// deterministic (shard, batch, packet) order — interning, PFG and
+    /// call-graph growth, context selection, plugin-table updates, and SCC
+    /// epochs stay single-threaded between rounds, which is what keeps
+    /// runs deterministic for a fixed thread count.
     ///
     /// Returns `false` when the budget was exhausted.
-    fn parallel_round<S: ContextSelector, P: Plugin>(&mut self, selector: &S, plugin: &P) -> bool {
+    fn parallel_round<'scope, S, P>(
+        &mut self,
+        selector: &S,
+        plugin: &mut Option<P>,
+        pool: &crate::pool::WorkerPool<'scope, 'p, P>,
+    ) -> bool
+    where
+        S: ContextSelector,
+        P: Plugin + Send + Sync + 'scope,
+        'p: 'scope,
+    {
         let n = self.nthreads;
         // Drain the queue in order, canonicalizing stale entries exactly
         // like the sequential pop does.
@@ -1208,13 +1337,14 @@ impl<'p> SolverState<'p> {
 
         // Small rounds run inline on the coordinator: plugin-driven
         // solves drip-feed the worklist one event at a time (thousands of
-        // rounds of a handful of pointers), where per-round thread spawns
-        // would dominate wall-clock. The threshold is deterministic, so
-        // runs stay reproducible; the wave-front rounds that carry the
-        // real union work exceed it by orders of magnitude.
+        // rounds of a handful of pointers), where even pool dispatch
+        // overhead would dominate wall-clock. The threshold is
+        // deterministic, so runs stay reproducible; the wave-front rounds
+        // that carry the real union work exceed it by orders of magnitude.
         if batch.len() < 32 * n {
+            let p = plugin.as_ref().expect("plugin present between rounds");
             for (rep, incoming) in batch {
-                if !self.step(selector, plugin, PtrId(rep), incoming) {
+                if !self.step(selector, p, PtrId(rep), incoming) {
                     return false;
                 }
             }
@@ -1228,44 +1358,72 @@ impl<'p> SolverState<'p> {
             work[self.slots.shard_of(rep)].push((rep, incoming));
         }
 
-        // Parallel phase: one scoped worker per shard. Disjoint `&mut`
-        // shard borrows carry the hot state; everything else is shared
-        // read-only for the duration of the scope.
-        let nshards = n as u32;
-        let deadline = self.budget.time.map(|limit| self.started + limit);
-        let succ = &self.succ;
-        let reps = &self.reps;
-        let obj_keys = &self.obj_keys;
-        let program = self.program;
-        let shards = &mut self.slots.shards;
-        let results: Vec<crate::shard::WorkerResult> = std::thread::scope(|scope| {
-            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n)
-                .map(|_| std::sync::mpsc::channel::<crate::shard::Packet>())
-                .unzip();
-            let mut handles = Vec::with_capacity(n);
-            for (me, ((shard, batch), rx)) in shards.iter_mut().zip(work).zip(rxs).enumerate() {
-                let txs = txs.clone();
-                handles.push(scope.spawn(move || {
-                    crate::shard::run_worker(
-                        me, nshards, shard, batch, txs, rx, succ, reps, obj_keys, program, deadline,
-                    )
-                }));
-            }
-            drop(txs);
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("propagation worker panicked"))
-                .collect()
+        // Freeze the round-shared state. Everything is *moved* (Vec
+        // headers and the plugin — no elements are copied) into one Arc
+        // the workers share and the coordinator reclaims at the barrier;
+        // see `crate::pool` for the ownership protocol.
+        let discovery = plugin
+            .as_ref()
+            .expect("plugin present between rounds")
+            .parallel_discovery();
+        let shared = std::sync::Arc::new(crate::shard::RoundShared {
+            succ: std::mem::take(&mut self.succ),
+            reps: std::mem::take(&mut self.reps),
+            members: std::mem::take(&mut self.members),
+            ptr_keys: std::mem::take(&mut self.ptr_keys),
+            obj_keys: std::mem::take(&mut self.obj_keys),
+            stmts: std::mem::take(&mut self.stmts),
+            program: self.program,
+            plugin: plugin.take().expect("plugin present between rounds"),
+            discovery,
+            nshards: n as u32,
+            deadline: self.budget.time.map(|limit| self.started + limit),
         });
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n)
+            .map(|_| std::sync::mpsc::channel::<crate::shard::Packet>())
+            .unzip();
+        let mut jobs = Vec::with_capacity(n);
+        for (i, (batch, rx)) in work.into_iter().zip(rxs).enumerate() {
+            jobs.push(crate::shard::RoundJob {
+                shared: std::sync::Arc::clone(&shared),
+                shard: std::mem::take(&mut self.slots.shards[i]),
+                batch,
+                txs: txs.clone(),
+                rx,
+            });
+        }
+        drop(txs);
 
-        // Coordinator phase: requeue newly pending representatives and
-        // replay statement fan-out, both in shard order (deterministic).
-        let mut stmt: Vec<(PtrId, std::sync::Arc<PointsToSet>)> = Vec::new();
+        // Parallel phase: the pooled workers run; the coordinator only
+        // waits at the barrier. This span is what `parallel_secs` counts.
+        let par_start = Instant::now();
+        let results = pool.round(jobs);
+        self.stats.parallel_secs += par_start.elapsed().as_secs_f64();
+
+        // Reclaim the frozen state: every worker dropped its Arc clone
+        // before reporting, so the Arc is unique again.
+        let Ok(shared) = std::sync::Arc::try_unwrap(shared) else {
+            unreachable!("round state still shared after the barrier")
+        };
+        self.succ = shared.succ;
+        self.reps = shared.reps;
+        self.members = shared.members;
+        self.ptr_keys = shared.ptr_keys;
+        self.obj_keys = shared.obj_keys;
+        self.stmts = shared.stmts;
+        *plugin = Some(shared.plugin);
+
+        // Coordinator phase: restore the shards, requeue newly pending
+        // representatives, and commit the derived packets, all in shard
+        // order (deterministic).
+        let mut stmt_groups: Vec<(Vec<crate::shard::DeltaCommit>, Vec<crate::shard::Derived>)> =
+            Vec::with_capacity(n);
         let mut timed_out = false;
-        for r in results {
+        for (i, (shard, r)) in results.into_iter().enumerate() {
+            self.slots.shards[i] = shard;
             self.stats.propagations += r.propagations;
             self.queue.extend(r.newly_queued);
-            stmt.extend(r.stmt);
+            stmt_groups.push((r.stmt, r.derived));
             timed_out |= r.timed_out;
         }
         if timed_out {
@@ -1281,17 +1439,110 @@ impl<'p> SolverState<'p> {
                 return false;
             }
         }
-        for (ptr, delta) in stmt {
-            // The outbox clones were merged and dropped in the workers'
-            // merge sub-phase, so this unwraps copy-free.
-            self.fan_out(
-                selector,
-                plugin,
-                ptr,
-                std::sync::Arc::unwrap_or_clone(delta),
-            );
+        let p = plugin.as_mut().expect("plugin restored after the round");
+        for (stmts, derived) in stmt_groups {
+            let mut packets = derived.into_iter();
+            let mut start = 0u32;
+            for (ptr, delta, end) in stmts {
+                // The outbox clones were merged and dropped in the workers'
+                // merge sub-phase, so this unwraps copy-free.
+                let delta = std::sync::Arc::unwrap_or_clone(delta);
+                let count = (end - start) as usize;
+                start = end;
+                self.commit_derived(
+                    selector,
+                    p,
+                    ptr,
+                    &delta,
+                    packets.by_ref().take(count),
+                    discovery,
+                );
+            }
         }
         true
+    }
+
+    /// Commits one committed delta's worker-derived packets: interning,
+    /// edge/call-graph mutation, context selection, and plugin reactions,
+    /// in the deterministic order the worker emitted them. For plugins
+    /// without worker-side discovery, also queues the per-member
+    /// `NewPointsTo` events the sequential `fan_out` would have queued.
+    fn commit_derived<S: ContextSelector, P: Plugin>(
+        &mut self,
+        selector: &S,
+        plugin: &mut P,
+        ptr: PtrId,
+        delta: &PointsToSet,
+        derived: impl Iterator<Item = crate::shard::Derived>,
+        discovery: bool,
+    ) {
+        use crate::shard::Derived;
+        for d in derived {
+            match d {
+                Derived::LoadFan { site, ctx } => {
+                    // Same shape as the sequential `[Load]` loop: intern
+                    // the target once, then one field pointer per object.
+                    let l = self.program.load(site);
+                    let (lhs, field) = (l.lhs(), l.field());
+                    let t = self.var_ptr(ctx, lhs);
+                    for o in delta.iter() {
+                        let s = self.field_ptr(CsObjId(o), field);
+                        self.add_edge(s, t, EdgeKind::Load(site));
+                    }
+                }
+                Derived::StoreFan { site, ctx } => {
+                    let st = self.program.store(site);
+                    let (rhs, field) = (st.rhs(), st.field());
+                    let s = self.var_ptr(ctx, rhs);
+                    for o in delta.iter() {
+                        let t = self.field_ptr(CsObjId(o), field);
+                        self.add_edge(s, t, EdgeKind::Store(site));
+                    }
+                }
+                Derived::Call {
+                    caller_ctx,
+                    site,
+                    recv,
+                    callee,
+                } => {
+                    // The worker resolved dispatch; context selection and
+                    // the `[Call]` receiver flow stay coordinator-side.
+                    let (heap_ctx, obj) = self.obj_key(CsObjId(recv));
+                    let callee_ctx = selector.select_call(
+                        self.program,
+                        &mut self.interner,
+                        CallInfo {
+                            caller_ctx,
+                            site,
+                            callee,
+                            recv: Some((heap_ctx, obj)),
+                        },
+                    );
+                    self.add_call_edge(selector, &*plugin, caller_ctx, site, callee_ctx, callee);
+                    if let Some(this) = self.program.method(callee).this_var() {
+                        let t = self.var_ptr(callee_ctx, this);
+                        self.enqueue_one(t, recv);
+                    }
+                }
+                Derived::React(r) => plugin.apply(self, delta, *r),
+            }
+        }
+        if self.emit_events && !discovery {
+            if let Some(group) = self.members.remove(&ptr.0) {
+                for &m in &group {
+                    self.events.push_back(Event::NewPointsTo {
+                        ptr: PtrId(m),
+                        delta: delta.clone(),
+                    });
+                }
+                self.members.insert(ptr.0, group);
+            } else {
+                self.events.push_back(Event::NewPointsTo {
+                    ptr,
+                    delta: delta.clone(),
+                });
+            }
+        }
     }
 
     // ---- context-insensitive projections (used by clients) ----------------
@@ -1376,7 +1627,14 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
     /// Runs to fixpoint (or budget exhaustion) and returns the result
     /// together with the plugin (which may carry analysis-specific data,
     /// e.g. Cut-Shortcut's involved-method set).
-    pub fn solve(mut self) -> (PtaResult<'p>, P) {
+    ///
+    /// The `Send + Sync` bound on the plugin exists for the parallel
+    /// engine, which shares the (round-frozen) plugin with its worker
+    /// threads; the sequential engine never crosses a thread boundary.
+    pub fn solve(mut self) -> (PtaResult<'p>, P)
+    where
+        P: Send + Sync,
+    {
         let start = Instant::now();
         self.state.started = start;
         self.state.emit_events = self.plugin.wants_events();
@@ -1384,61 +1642,80 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
         let entry = self.state.program.entry();
         self.state
             .add_reachable(&self.selector, &self.plugin, CtxId::EMPTY, entry);
-        let mut status = SolveStatus::Completed;
-        if self.state.nthreads > 1 {
+        let Solver {
+            mut state,
+            selector,
+            mut plugin,
+        } = self;
+        let status = if state.nthreads > 1 {
             // Sharded parallel engine: rounds of parallel propagation with
-            // sequential coordinator phases in between. Plugin events are
+            // sequential coordinator phases in between, the workers parked
+            // in a pool that lives for the whole solve. Plugin events are
             // processed only at quiescent points (empty worklist), exactly
             // like the sequential loop; the loop terminates on the first
             // fully quiescent round (no worklist entries, no events).
-            loop {
-                if self.state.should_collapse() {
-                    self.state.collapse_cycles(&self.selector, &self.plugin);
-                }
-                if !self.state.queue.is_empty() {
-                    if !self.state.parallel_round(&self.selector, &self.plugin) {
-                        status = SolveStatus::Timeout;
-                        break;
+            let nthreads = state.nthreads;
+            let mut slot = Some(plugin);
+            let status = std::thread::scope(|scope| {
+                let pool = crate::pool::WorkerPool::start(scope, nthreads);
+                loop {
+                    if state.should_collapse() {
+                        let p = slot.as_ref().expect("plugin present between rounds");
+                        state.collapse_cycles(&selector, p);
                     }
-                } else if let Some(ev) = self.state.events.pop_front() {
-                    self.plugin.handle(&mut self.state, ev);
-                } else {
-                    break;
+                    if !state.queue.is_empty() {
+                        if !state.parallel_round(&selector, &mut slot, &pool) {
+                            break SolveStatus::Timeout;
+                        }
+                    } else if let Some(ev) = state.events.pop_front() {
+                        slot.as_mut()
+                            .expect("plugin present between rounds")
+                            .handle(&mut state, ev);
+                    } else {
+                        break SolveStatus::Completed;
+                    }
                 }
-            }
+            });
+            plugin = slot.expect("plugin restored after the solve");
+            status
         } else {
             // The sequential engine (threads = 1), byte-for-byte the
             // pre-parallel behavior: per-pointer steps, events at
             // quiescence.
+            let mut status = SolveStatus::Completed;
             loop {
-                if self.state.should_collapse() {
-                    self.state.collapse_cycles(&self.selector, &self.plugin);
+                if state.should_collapse() {
+                    state.collapse_cycles(&selector, &plugin);
                 }
-                if let Some(ptr) = self.state.queue.pop_front() {
+                if let Some(ptr) = state.queue.pop_front() {
                     // Canonicalize: the pointer may have been merged into an
                     // SCC after it was queued.
-                    let ptr = self.state.repr(ptr);
-                    let incoming = self.state.slots.take_pending(ptr.0);
-                    if !self.state.step(&self.selector, &self.plugin, ptr, incoming) {
+                    let ptr = state.repr(ptr);
+                    let incoming = state.slots.take_pending(ptr.0);
+                    if !state.step(&selector, &plugin, ptr, incoming) {
                         status = SolveStatus::Timeout;
                         break;
                     }
-                } else if let Some(ev) = self.state.events.pop_front() {
-                    self.plugin.handle(&mut self.state, ev);
+                } else if let Some(ev) = state.events.pop_front() {
+                    plugin.handle(&mut state, ev);
                 } else {
                     break;
                 }
             }
-        }
+            status
+        };
         let elapsed = start.elapsed();
+        // The Amdahl split: everything that is not a parallel phase is
+        // coordinator time (on the sequential engine, the whole solve).
+        state.stats.coordinator_secs = (elapsed.as_secs_f64() - state.stats.parallel_secs).max(0.0);
         (
             PtaResult {
-                state: self.state,
+                state,
                 status,
                 elapsed,
-                analysis: self.selector.name().to_owned(),
+                analysis: selector.name().to_owned(),
             },
-            self.plugin,
+            plugin,
         )
     }
 }

@@ -1,0 +1,197 @@
+//! Sharded hash tables for plugin obligation state.
+//!
+//! The parallel propagation engine runs plugin *discovery* (the read-only
+//! half of `on_points_to`-style reactions) on the shard workers. The
+//! tables those reads hit — the Cut-Shortcut store/load obligations, the
+//! container watch and pointer-host maps — are partitioned here into one
+//! sub-table per shard, keyed by the same `id % nshards` routing the
+//! pointer slots use:
+//!
+//! * a worker's lookups for the pointers it owns land mostly in one
+//!   sub-table, so concurrent discovery across workers does not ping-pong
+//!   one big table's cache lines;
+//! * registrations (coordinator-side, between rounds) go to the owning
+//!   sub-table directly;
+//! * every production access is *keyed* (`get` / `or_default` / `insert`),
+//!   so hash-map iteration order never influences solver behavior.
+//!   [`ShardedTable::merged`] — the deterministic source-order view of the
+//!   partition, entries shard-major and key-sorted within each shard — is
+//!   the *audit surface* for that claim: the property tests in
+//!   `tests/shard_prop.rs` pin the partitioned table (lookups, size, and
+//!   the merged view) to a flat reference map under arbitrary operation
+//!   interleavings, for every shard count.
+//!
+//! With one shard (the sequential engine) this is a plain hash map behind
+//! an index indirection, so `threads = 1` behavior is unchanged.
+
+use std::hash::Hash;
+
+use crate::fx::FxHashMap;
+
+/// Routes a key to a shard: `shard_index() % nshards`. Implemented by the
+/// dense-id key types the solver shards on.
+pub trait ShardKey {
+    /// The dense index the shard routing is computed from.
+    fn shard_index(&self) -> u32;
+}
+
+impl ShardKey for u32 {
+    fn shard_index(&self) -> u32 {
+        *self
+    }
+}
+
+impl ShardKey for crate::solver::PtrId {
+    fn shard_index(&self) -> u32 {
+        self.0
+    }
+}
+
+/// A hash map partitioned into per-shard sub-tables by
+/// [`ShardKey::shard_index`]` % nshards`.
+///
+/// Every operation is deterministic in the sequence of operations applied
+/// — the partition is a pure function of the key — so a `ShardedTable`
+/// driven by a deterministic coordinator is itself deterministic
+/// regardless of how many shards it is split into.
+#[derive(Clone, Debug)]
+pub struct ShardedTable<K, V> {
+    shards: Vec<FxHashMap<K, V>>,
+}
+
+impl<K: ShardKey + Eq + Hash, V> ShardedTable<K, V> {
+    /// An empty table split into `nshards` sub-tables (at least one).
+    pub fn new(nshards: usize) -> Self {
+        ShardedTable {
+            shards: (0..nshards.max(1)).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Number of sub-tables.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Re-partitions the table into `nshards` sub-tables, rerouting any
+    /// existing entries. The solver calls this once per solve, when the
+    /// worker count becomes known.
+    pub fn set_shards(&mut self, nshards: usize) {
+        let nshards = nshards.max(1);
+        if nshards == self.shards.len() {
+            return;
+        }
+        let old = std::mem::replace(
+            &mut self.shards,
+            (0..nshards).map(|_| FxHashMap::default()).collect(),
+        );
+        for shard in old {
+            for (k, v) in shard {
+                self.insert(k, v);
+            }
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> usize {
+        (key.shard_index() as usize) % self.shards.len()
+    }
+
+    /// Looks a key up.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Looks a key up mutably.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let s = self.shard_of(key);
+        self.shards[s].get_mut(key)
+    }
+
+    /// The value for `key`, inserting a default if absent.
+    #[inline]
+    pub fn or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        let s = self.shard_of(&key);
+        self.shards[s].entry(key).or_default()
+    }
+
+    /// Inserts, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let s = self.shard_of(&key);
+        self.shards[s].insert(key, value)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Total number of entries across all sub-tables.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(FxHashMap::is_empty)
+    }
+
+    /// The deterministic source-order view of the partition: entries of
+    /// shard 0 first, then shard 1, …, each sub-table's entries sorted by
+    /// key. Hash-map iteration order never leaks out of this type; this
+    /// is the (test-pinned) order any future whole-table fold must use —
+    /// the solver's production accesses are all keyed and never iterate.
+    pub fn merged(&self) -> Vec<(&K, &V)>
+    where
+        K: Ord,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let mut entries: Vec<(&K, &V)> = shard.iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            out.extend(entries);
+        }
+        out
+    }
+}
+
+impl<K: ShardKey + Eq + Hash, V> Default for ShardedTable<K, V> {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_and_reroutes() {
+        let mut t: ShardedTable<u32, &str> = ShardedTable::new(3);
+        t.insert(0, "a");
+        t.insert(4, "b");
+        t.insert(8, "c");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&4), Some(&"b"));
+        t.set_shards(1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&8), Some(&"c"));
+        assert!(t.contains_key(&0));
+        assert!(!t.contains_key(&1));
+    }
+
+    #[test]
+    fn merged_is_shard_major_key_sorted() {
+        let mut t: ShardedTable<u32, u32> = ShardedTable::new(2);
+        for k in [5, 2, 3, 0, 1, 4] {
+            t.insert(k, k * 10);
+        }
+        let keys: Vec<u32> = t.merged().into_iter().map(|(k, _)| *k).collect();
+        // Shard 0 holds the even keys, shard 1 the odd ones.
+        assert_eq!(keys, vec![0, 2, 4, 1, 3, 5]);
+    }
+}

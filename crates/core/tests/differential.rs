@@ -168,8 +168,10 @@ fn differential_small_suite_aggressive_epochs() {
 }
 
 /// The sharded parallel engine against the sequential engine: small
-/// programs × the four pipeline configurations × {2, 4} threads, with the
-/// aggressive epoch so condensation interleaves with parallel rounds.
+/// programs × the four pipeline configurations × {2, 4, 8} threads, with
+/// the aggressive epoch so condensation interleaves with parallel rounds.
+/// 8 threads oversubscribes small programs on purpose — shards with empty
+/// batches and sparse outboxes are where routing bugs hide.
 #[test]
 fn differential_parallel_small_suite() {
     for name in ["hsqldb", "findbugs", "jython"] {
@@ -180,7 +182,7 @@ fn differential_parallel_small_suite() {
                 program,
                 analysis,
                 SolverOptions::with_epoch(32),
-                &[2, 4],
+                &[2, 4, 8],
                 &what,
             );
         }
@@ -202,14 +204,14 @@ fn differential_parallel_context_sensitive() {
             program,
             analysis.clone(),
             SolverOptions::with_epoch(8),
-            &[2, 4],
+            &[2, 4, 8],
             &format!("findbugs/{label} (parallel, epoch=8)"),
         );
         differential_threads(
             program,
             analysis,
             SolverOptions::no_collapse(),
-            &[2, 4],
+            &[2, 4, 8],
             &format!("findbugs/{label} (parallel, no-collapse)"),
         );
     }
@@ -245,17 +247,23 @@ fn differential_full_suite() {
 }
 
 /// The full ten-program suite × four configurations on the parallel engine
-/// at 2 and 4 threads, against the sequential engine, under the production
-/// (adaptive) epoch. Ignored for the same reason as
+/// at 2, 4 and 8 threads, against the sequential engine, under the
+/// production (adaptive) epoch. Ignored for the same reason as
 /// [`differential_full_suite`]; CI runs it in release mode.
 #[test]
-#[ignore = "full suite x 4 configs x 3 thread counts; run in release mode (see doc comment)"]
+#[ignore = "full suite x 4 configs x 4 thread counts; run in release mode (see doc comment)"]
 fn differential_parallel_full_suite() {
     for bench in csc_workloads::suite() {
         let program = csc_workloads::compiled(bench.name).unwrap();
         for (label, analysis) in configurations() {
             let what = format!("{}/{label} (parallel)", bench.name);
-            differential_threads(program, analysis, SolverOptions::default(), &[2, 4], &what);
+            differential_threads(
+                program,
+                analysis,
+                SolverOptions::default(),
+                &[2, 4, 8],
+                &what,
+            );
         }
     }
 }

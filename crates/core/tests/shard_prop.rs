@@ -1,6 +1,7 @@
-//! Property tests for the sharded parallel engine's delta plumbing.
+//! Property tests for the sharded parallel engine's delta plumbing and
+//! the sharded plugin obligation tables.
 //!
-//! The parallel engine departs from the sequential worklist in two ways
+//! The parallel engine departs from the sequential worklist in three ways
 //! that must be semantics-preserving:
 //!
 //! * cross-shard deltas are *routed*: each worker partitions its outgoing
@@ -10,10 +11,17 @@
 //! * deltas are *batched more aggressively*: payloads from many sources
 //!   coalesce in a pending accumulator before one `union_delta` commits
 //!   them, where the sequential engine may commit them one at a time —
-//!   the committed set and the union of observed deltas must agree.
+//!   the committed set and the union of observed deltas must agree;
+//! * plugin obligation state is *partitioned*: the Cut-Shortcut watch /
+//!   obligation / host maps live in a [`ShardedTable`] so worker-side
+//!   discovery reads stay shard-local — every observable of the
+//!   partitioned table must coincide with a flat reference map under
+//!   arbitrary interleavings of registrations and lookups, for every
+//!   shard count.
 
-use csc_core::PointsToSet;
+use csc_core::{PointsToSet, ShardedTable};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// Messages: `(target, payload)` pairs; targets dense in `0..TARGETS`.
 const TARGETS: u32 = 12;
@@ -115,5 +123,87 @@ proptest! {
 
         prop_assert_eq!(&batch_pts, &step_pts);
         prop_assert_eq!(&batch_delta, &step_deltas);
+    }
+
+    /// Obligation-table equivalence: applying an arbitrary interleaving of
+    /// obligation registrations (append under a key — exactly the shape of
+    /// the Cut-Shortcut store/load obligation and watch events) to a
+    /// [`ShardedTable`] at any shard count yields a table observably
+    /// identical to the sequential (flat) reference: same per-key lookups,
+    /// same size, and a deterministic merged view that never leaks hash
+    /// order. Registrations and lookups interleave arbitrarily so a
+    /// lookup-dependent registration path cannot behave differently
+    /// against the partitioned table mid-stream.
+    #[test]
+    fn sharded_obligation_table_equals_sequential(
+        ops in proptest::collection::vec((0u32..40, 0u16..500, any::<bool>()), 0..60),
+        nshards in 1usize..6,
+    ) {
+        let mut sharded: ShardedTable<u32, Vec<u16>> = ShardedTable::new(nshards);
+        let mut flat: BTreeMap<u32, Vec<u16>> = BTreeMap::new();
+
+        for (key, val, is_lookup) in ops {
+            if is_lookup {
+                // Mid-stream lookups must already agree.
+                prop_assert_eq!(sharded.get(&key), flat.get(&key));
+            } else {
+                // The event-handler idiom: append unless already present
+                // (the duplicate check *reads through* the table, so a
+                // routing bug would corrupt subsequent registrations).
+                let entry = sharded.or_default(key);
+                if !entry.contains(&val) {
+                    entry.push(val);
+                }
+                let entry = flat.entry(key).or_default();
+                if !entry.contains(&val) {
+                    entry.push(val);
+                }
+            }
+        }
+
+        prop_assert_eq!(sharded.len(), flat.len());
+        prop_assert_eq!(sharded.is_empty(), flat.is_empty());
+        for (k, v) in &flat {
+            prop_assert_eq!(sharded.get(k), Some(v), "lookup mismatch at key {}", k);
+        }
+        // The deterministic source-order merge: shard-major, key-sorted
+        // within each shard — and in total exactly the reference entries.
+        let merged = sharded.merged();
+        prop_assert_eq!(merged.len(), flat.len());
+        let mut expect: Vec<(&u32, &Vec<u16>)> = flat.iter().collect();
+        expect.sort_by_key(|(k, _)| (**k as usize % nshards, **k));
+        prop_assert_eq!(merged, expect);
+    }
+
+    /// Re-partitioning invariance: folding a table built at any shard
+    /// count back to one shard (`set_shards(1)`) — the "merge the
+    /// per-shard tables" direction the solver relies on when a plugin
+    /// built for `n` workers is reused sequentially — loses nothing and
+    /// reorders nothing observably.
+    #[test]
+    fn reshard_preserves_obligations(
+        entries in proptest::collection::vec((0u32..60, 0u16..500), 0..50),
+        from in 1usize..6,
+        to in 1usize..6,
+    ) {
+        let mut table: ShardedTable<u32, Vec<u16>> = ShardedTable::new(from);
+        let mut flat: BTreeMap<u32, Vec<u16>> = BTreeMap::new();
+        for (k, v) in entries {
+            table.or_default(k).push(v);
+            flat.entry(k).or_default().push(v);
+        }
+        table.set_shards(to);
+        prop_assert_eq!(table.shards(), to);
+        prop_assert_eq!(table.len(), flat.len());
+        for (k, v) in &flat {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+        // At one shard the merged view is exactly the key-sorted flat map.
+        table.set_shards(1);
+        let merged: Vec<(u32, Vec<u16>)> =
+            table.merged().into_iter().map(|(k, v)| (*k, v.clone())).collect();
+        let expect: Vec<(u32, Vec<u16>)> =
+            flat.iter().map(|(k, v)| (*k, v.clone())).collect();
+        prop_assert_eq!(merged, expect);
     }
 }

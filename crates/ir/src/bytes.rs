@@ -1,0 +1,908 @@
+//! A compact, versioned binary codec for whole [`Program`]s.
+//!
+//! Lowering a generated workload (lex → parse → lower → hierarchy
+//! resolution) dominates process start-up for the bench tables and the
+//! differential harness; the on-disk half of the compiled-IR cache
+//! (`csc_workloads::compiled`) serializes the *lowered* IR so fresh
+//! processes skip it entirely. The format is deliberately dumb:
+//! little-endian fixed-width integers, length-prefixed strings, one tag
+//! byte per enum variant, tables in id order — no self-description, no
+//! external dependency. A magic header plus format version guards against
+//! reading a stale layout, and every read is bounds-checked so a
+//! truncated or corrupt cache file surfaces as a [`DecodeError`] (which
+//! cache readers treat as a miss), never a panic.
+//!
+//! The encoding is canonical — derived tables (vtables) are written in
+//! sorted key order — so equal programs produce byte-identical encodings,
+//! which keeps content-addressed cache files stable across runs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::{CallSiteId, CastId, ClassId, FieldId, LoadId, MethodId, ObjId, StoreId, VarId};
+use crate::program::{
+    CallSite, CastSite, Class, Field, LoadSite, Method, MethodKind, ObjInfo, Program, SigId,
+    StoreSite, VarInfo,
+};
+use crate::stmt::{BinOp, CallKind, Stmt};
+use crate::ty::Type;
+
+/// Magic bytes every encoded program starts with.
+const MAGIC: &[u8; 6] = b"CSCIR\0";
+/// Format version; bump whenever the layout changes.
+const VERSION: u32 = 1;
+
+/// Why a byte stream failed to decode as a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic header or format version did not match.
+    BadHeader,
+    /// The stream ended before the structure was complete.
+    UnexpectedEof,
+    /// An enum tag byte had no corresponding variant.
+    BadTag(u8),
+    /// Trailing bytes after the structure, or an id out of table range.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadHeader => write!(f, "bad magic or unsupported format version"),
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::BadTag(t) => write!(f, "unknown enum tag {t}"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt program encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---- writer ---------------------------------------------------------------
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn len(&mut self, v: usize) {
+        self.u32(u32::try_from(v).expect("table length fits u32"));
+    }
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn opt32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+    fn ty(&mut self, t: Type) {
+        match t {
+            Type::Int => self.u8(0),
+            Type::Boolean => self.u8(1),
+            Type::Void => self.u8(2),
+            Type::Null => self.u8(3),
+            Type::Class(c) => {
+                self.u8(4);
+                self.u32(c.raw());
+            }
+        }
+    }
+    fn stmts(&mut self, body: &[Stmt]) {
+        self.len(body.len());
+        for s in body {
+            self.stmt(s);
+        }
+    }
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::New { lhs, obj } => {
+                self.u8(0);
+                self.u32(lhs.raw());
+                self.u32(obj.raw());
+            }
+            Stmt::Assign { lhs, rhs } => {
+                self.u8(1);
+                self.u32(lhs.raw());
+                self.u32(rhs.raw());
+            }
+            Stmt::Cast(id) => {
+                self.u8(2);
+                self.u32(id.raw());
+            }
+            Stmt::Load(id) => {
+                self.u8(3);
+                self.u32(id.raw());
+            }
+            Stmt::Store(id) => {
+                self.u8(4);
+                self.u32(id.raw());
+            }
+            Stmt::Call(id) => {
+                self.u8(5);
+                self.u32(id.raw());
+            }
+            Stmt::Return => self.u8(6),
+            Stmt::ConstInt { lhs, value } => {
+                self.u8(7);
+                self.u32(lhs.raw());
+                self.i64(*value);
+            }
+            Stmt::ConstBool { lhs, value } => {
+                self.u8(8);
+                self.u32(lhs.raw());
+                self.u8(u8::from(*value));
+            }
+            Stmt::ConstNull { lhs } => {
+                self.u8(9);
+                self.u32(lhs.raw());
+            }
+            Stmt::BinOp { lhs, op, a, b } => {
+                self.u8(10);
+                self.u32(lhs.raw());
+                self.u8(binop_tag(*op));
+                self.u32(a.raw());
+                self.u32(b.raw());
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.u8(11);
+                self.u32(cond.raw());
+                self.stmts(then_branch);
+                self.stmts(else_branch);
+            }
+            Stmt::While {
+                cond_stmts,
+                cond,
+                body,
+            } => {
+                self.u8(12);
+                self.stmts(cond_stmts);
+                self.u32(cond.raw());
+                self.stmts(body);
+            }
+        }
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Rem => 3,
+        BinOp::Lt => 4,
+        BinOp::Le => 5,
+        BinOp::EqInt => 6,
+        BinOp::NeInt => 7,
+        BinOp::EqRef => 8,
+        BinOp::NeRef => 9,
+    }
+}
+
+fn binop_from(tag: u8) -> Result<BinOp, DecodeError> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Rem,
+        4 => BinOp::Lt,
+        5 => BinOp::Le,
+        6 => BinOp::EqInt,
+        7 => BinOp::NeInt,
+        8 => BinOp::EqRef,
+        9 => BinOp::NeRef,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+// ---- reader ---------------------------------------------------------------
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::UnexpectedEof)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        Ok(self.u32()? as usize)
+    }
+    /// A length prefix for a table whose elements occupy at least
+    /// `min_elem` bytes each — bounds it against the remaining input so a
+    /// corrupt length cannot trigger a huge allocation.
+    fn table_len(&mut self, min_elem: usize) -> Result<usize, DecodeError> {
+        let n = self.len()?;
+        if n.saturating_mul(min_elem.max(1)) > self.buf.len() - self.pos {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Corrupt("non-UTF-8 string"))
+    }
+    fn opt32(&mut self) -> Result<Option<u32>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+    fn ty(&mut self) -> Result<Type, DecodeError> {
+        Ok(match self.u8()? {
+            0 => Type::Int,
+            1 => Type::Boolean,
+            2 => Type::Void,
+            3 => Type::Null,
+            4 => Type::Class(ClassId::new(self.u32()?)),
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+    fn stmts(&mut self) -> Result<Vec<Stmt>, DecodeError> {
+        let n = self.table_len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+    fn stmt(&mut self) -> Result<Stmt, DecodeError> {
+        Ok(match self.u8()? {
+            0 => Stmt::New {
+                lhs: VarId::new(self.u32()?),
+                obj: ObjId::new(self.u32()?),
+            },
+            1 => Stmt::Assign {
+                lhs: VarId::new(self.u32()?),
+                rhs: VarId::new(self.u32()?),
+            },
+            2 => Stmt::Cast(CastId::new(self.u32()?)),
+            3 => Stmt::Load(LoadId::new(self.u32()?)),
+            4 => Stmt::Store(StoreId::new(self.u32()?)),
+            5 => Stmt::Call(CallSiteId::new(self.u32()?)),
+            6 => Stmt::Return,
+            7 => Stmt::ConstInt {
+                lhs: VarId::new(self.u32()?),
+                value: self.i64()?,
+            },
+            8 => Stmt::ConstBool {
+                lhs: VarId::new(self.u32()?),
+                value: self.u8()? != 0,
+            },
+            9 => Stmt::ConstNull {
+                lhs: VarId::new(self.u32()?),
+            },
+            10 => Stmt::BinOp {
+                lhs: VarId::new(self.u32()?),
+                op: binop_from(self.u8()?)?,
+                a: VarId::new(self.u32()?),
+                b: VarId::new(self.u32()?),
+            },
+            11 => Stmt::If {
+                cond: VarId::new(self.u32()?),
+                then_branch: self.stmts()?,
+                else_branch: self.stmts()?,
+            },
+            12 => Stmt::While {
+                cond_stmts: self.stmts()?,
+                cond: VarId::new(self.u32()?),
+                body: self.stmts()?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+    fn id_vec<T>(&mut self, mk: impl Fn(u32) -> T) -> Result<Vec<T>, DecodeError> {
+        let n = self.table_len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(mk(self.u32()?));
+        }
+        Ok(out)
+    }
+}
+
+// ---- program --------------------------------------------------------------
+
+impl Program {
+    /// Encodes the whole program into the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = W {
+            buf: Vec::with_capacity(1 << 16),
+        };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(VERSION);
+
+        w.len(self.classes.len());
+        for c in &self.classes {
+            w.str(&c.name);
+            w.opt32(c.superclass.map(|s| s.raw()));
+            w.len(c.fields.len());
+            for f in &c.fields {
+                w.u32(f.raw());
+            }
+            w.len(c.methods.len());
+            for m in &c.methods {
+                w.u32(m.raw());
+            }
+            w.u8(u8::from(c.is_abstract));
+        }
+
+        w.len(self.fields.len());
+        for f in &self.fields {
+            w.str(&f.name);
+            w.u32(f.class.raw());
+            w.ty(f.ty);
+        }
+
+        w.len(self.methods.len());
+        for m in &self.methods {
+            w.str(&m.name);
+            w.u32(m.class.raw());
+            w.u8(match m.kind {
+                MethodKind::Instance => 0,
+                MethodKind::Constructor => 1,
+                MethodKind::Static => 2,
+            });
+            w.u32(m.sig.0);
+            w.len(m.param_types.len());
+            for &t in &m.param_types {
+                w.ty(t);
+            }
+            w.ty(m.ret_ty);
+            w.opt32(m.this_var.map(|v| v.raw()));
+            w.len(m.params.len());
+            for p in &m.params {
+                w.u32(p.raw());
+            }
+            w.opt32(m.ret_var.map(|v| v.raw()));
+            w.len(m.vars.len());
+            for v in &m.vars {
+                w.u32(v.raw());
+            }
+            w.stmts(&m.body);
+            w.u8(u8::from(m.is_abstract));
+        }
+
+        w.len(self.vars.len());
+        for v in &self.vars {
+            w.str(&v.name);
+            w.u32(v.method.raw());
+            w.ty(v.ty);
+        }
+
+        w.len(self.objs.len());
+        for o in &self.objs {
+            w.u32(o.class.raw());
+            w.u32(o.method.raw());
+            w.str(&o.label);
+        }
+
+        w.len(self.call_sites.len());
+        for c in &self.call_sites {
+            w.u32(c.method.raw());
+            w.u8(match c.kind {
+                CallKind::Virtual => 0,
+                CallKind::Special => 1,
+                CallKind::Static => 2,
+            });
+            w.opt32(c.lhs.map(|v| v.raw()));
+            w.opt32(c.recv.map(|v| v.raw()));
+            w.len(c.args.len());
+            for a in &c.args {
+                w.u32(a.raw());
+            }
+            w.u32(c.target.raw());
+        }
+
+        w.len(self.loads.len());
+        for l in &self.loads {
+            w.u32(l.method.raw());
+            w.u32(l.lhs.raw());
+            w.u32(l.base.raw());
+            w.u32(l.field.raw());
+        }
+
+        w.len(self.stores.len());
+        for s in &self.stores {
+            w.u32(s.method.raw());
+            w.u32(s.base.raw());
+            w.u32(s.field.raw());
+            w.u32(s.rhs.raw());
+        }
+
+        w.len(self.casts.len());
+        for c in &self.casts {
+            w.u32(c.method.raw());
+            w.u32(c.lhs.raw());
+            w.u32(c.rhs.raw());
+            w.ty(c.ty);
+        }
+
+        w.len(self.sigs.len());
+        for (name, tys) in &self.sigs {
+            w.str(name);
+            w.len(tys.len());
+            for &t in tys {
+                w.ty(t);
+            }
+        }
+
+        w.u32(self.entry.raw());
+        w.u32(self.object_class.raw());
+
+        // Canonical order: sorted by signature id, so equal programs have
+        // byte-identical encodings.
+        w.len(self.vtables.len());
+        for table in &self.vtables {
+            let mut entries: Vec<(SigId, MethodId)> = table.iter().map(|(&s, &m)| (s, m)).collect();
+            entries.sort_unstable();
+            w.len(entries.len());
+            for (s, m) in entries {
+                w.u32(s.0);
+                w.u32(m.raw());
+            }
+        }
+
+        w.len(self.ancestors.len());
+        for chain in &self.ancestors {
+            w.len(chain.len());
+            for c in chain {
+                w.u32(c.raw());
+            }
+        }
+
+        w.buf
+    }
+
+    /// Decodes a program previously produced by [`Program::to_bytes`].
+    ///
+    /// Every read is bounds-checked; truncated, corrupt, or
+    /// version-mismatched input yields a [`DecodeError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, DecodeError> {
+        let mut r = R { buf: bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC || r.u32()? != VERSION {
+            return Err(DecodeError::BadHeader);
+        }
+
+        let n = r.table_len(8)?;
+        let mut classes = Vec::with_capacity(n);
+        for _ in 0..n {
+            classes.push(Class {
+                name: r.str()?,
+                superclass: r.opt32()?.map(ClassId::new),
+                fields: r.id_vec(FieldId::new)?,
+                methods: r.id_vec(MethodId::new)?,
+                is_abstract: r.u8()? != 0,
+            });
+        }
+
+        let n = r.table_len(9)?;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            fields.push(Field {
+                name: r.str()?,
+                class: ClassId::new(r.u32()?),
+                ty: r.ty()?,
+            });
+        }
+
+        let n = r.table_len(16)?;
+        let mut methods = Vec::with_capacity(n);
+        for _ in 0..n {
+            methods.push(Method {
+                name: r.str()?,
+                class: ClassId::new(r.u32()?),
+                kind: match r.u8()? {
+                    0 => MethodKind::Instance,
+                    1 => MethodKind::Constructor,
+                    2 => MethodKind::Static,
+                    t => return Err(DecodeError::BadTag(t)),
+                },
+                sig: SigId(r.u32()?),
+                param_types: {
+                    let k = r.table_len(1)?;
+                    let mut tys = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        tys.push(r.ty()?);
+                    }
+                    tys
+                },
+                ret_ty: r.ty()?,
+                this_var: r.opt32()?.map(VarId::new),
+                params: r.id_vec(VarId::new)?,
+                ret_var: r.opt32()?.map(VarId::new),
+                vars: r.id_vec(VarId::new)?,
+                body: r.stmts()?,
+                is_abstract: r.u8()? != 0,
+            });
+        }
+
+        let n = r.table_len(9)?;
+        let mut vars = Vec::with_capacity(n);
+        for _ in 0..n {
+            vars.push(VarInfo {
+                name: r.str()?,
+                method: MethodId::new(r.u32()?),
+                ty: r.ty()?,
+            });
+        }
+
+        let n = r.table_len(12)?;
+        let mut objs = Vec::with_capacity(n);
+        for _ in 0..n {
+            objs.push(ObjInfo {
+                class: ClassId::new(r.u32()?),
+                method: MethodId::new(r.u32()?),
+                label: r.str()?,
+            });
+        }
+
+        let n = r.table_len(15)?;
+        let mut call_sites = Vec::with_capacity(n);
+        for _ in 0..n {
+            call_sites.push(CallSite {
+                method: MethodId::new(r.u32()?),
+                kind: match r.u8()? {
+                    0 => CallKind::Virtual,
+                    1 => CallKind::Special,
+                    2 => CallKind::Static,
+                    t => return Err(DecodeError::BadTag(t)),
+                },
+                lhs: r.opt32()?.map(VarId::new),
+                recv: r.opt32()?.map(VarId::new),
+                args: r.id_vec(VarId::new)?,
+                target: MethodId::new(r.u32()?),
+            });
+        }
+
+        let n = r.table_len(16)?;
+        let mut loads = Vec::with_capacity(n);
+        for _ in 0..n {
+            loads.push(LoadSite {
+                method: MethodId::new(r.u32()?),
+                lhs: VarId::new(r.u32()?),
+                base: VarId::new(r.u32()?),
+                field: FieldId::new(r.u32()?),
+            });
+        }
+
+        let n = r.table_len(16)?;
+        let mut stores = Vec::with_capacity(n);
+        for _ in 0..n {
+            stores.push(StoreSite {
+                method: MethodId::new(r.u32()?),
+                base: VarId::new(r.u32()?),
+                field: FieldId::new(r.u32()?),
+                rhs: VarId::new(r.u32()?),
+            });
+        }
+
+        let n = r.table_len(13)?;
+        let mut casts = Vec::with_capacity(n);
+        for _ in 0..n {
+            casts.push(CastSite {
+                method: MethodId::new(r.u32()?),
+                lhs: VarId::new(r.u32()?),
+                rhs: VarId::new(r.u32()?),
+                ty: r.ty()?,
+            });
+        }
+
+        let n = r.table_len(8)?;
+        let mut sigs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let k = r.table_len(1)?;
+            let mut tys = Vec::with_capacity(k);
+            for _ in 0..k {
+                tys.push(r.ty()?);
+            }
+            sigs.push((name, tys));
+        }
+
+        let entry = MethodId::new(r.u32()?);
+        let object_class = ClassId::new(r.u32()?);
+
+        let n = r.table_len(4)?;
+        let mut vtables = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = r.table_len(8)?;
+            let mut table = HashMap::with_capacity(k);
+            for _ in 0..k {
+                table.insert(SigId(r.u32()?), MethodId::new(r.u32()?));
+            }
+            vtables.push(table);
+        }
+
+        let n = r.table_len(4)?;
+        let mut ancestors = Vec::with_capacity(n);
+        for _ in 0..n {
+            ancestors.push(r.id_vec(ClassId::new)?);
+        }
+
+        if r.pos != r.buf.len() {
+            return Err(DecodeError::Corrupt("trailing bytes"));
+        }
+        if entry.index() >= methods.len() {
+            return Err(DecodeError::Corrupt("entry method out of range"));
+        }
+        if object_class.index() >= classes.len() {
+            return Err(DecodeError::Corrupt("object class out of range"));
+        }
+        if vtables.len() != classes.len() || ancestors.len() != classes.len() {
+            return Err(DecodeError::Corrupt("derived tables out of sync"));
+        }
+
+        let program = Program {
+            classes,
+            fields,
+            methods,
+            vars,
+            objs,
+            call_sites,
+            loads,
+            stores,
+            casts,
+            sigs,
+            entry,
+            object_class,
+            vtables,
+            ancestors,
+        };
+        validate_ids(&program)?;
+        Ok(program)
+    }
+}
+
+/// Checks every id embedded in a decoded program against its table's
+/// bounds, so a structurally well-formed but corrupt stream surfaces as a
+/// [`DecodeError`] here rather than as an index-out-of-bounds panic in
+/// whatever analysis touches the bad record first. Cheap relative to
+/// decoding (one pass, no allocation) and only on the decode path —
+/// programs built through [`crate::ProgramBuilder`] are validated there.
+fn validate_ids(p: &Program) -> Result<(), DecodeError> {
+    let err = |what| Err(DecodeError::Corrupt(what));
+    let class_ok = |c: ClassId| c.index() < p.classes.len();
+    let field_ok = |f: FieldId| f.index() < p.fields.len();
+    let method_ok = |m: MethodId| m.index() < p.methods.len();
+    let var_ok = |v: VarId| v.index() < p.vars.len();
+    let ty_ok = |t: Type| match t {
+        Type::Class(c) => class_ok(c),
+        _ => true,
+    };
+    for c in &p.classes {
+        if c.superclass.is_some_and(|s| !class_ok(s))
+            || c.fields.iter().any(|&f| !field_ok(f))
+            || c.methods.iter().any(|&m| !method_ok(m))
+        {
+            return err("class record id out of range");
+        }
+    }
+    for f in &p.fields {
+        if !class_ok(f.class) || !ty_ok(f.ty) {
+            return err("field record id out of range");
+        }
+    }
+    for m in &p.methods {
+        if !class_ok(m.class)
+            || (m.sig.0 as usize) >= p.sigs.len()
+            || !m.param_types.iter().all(|&t| ty_ok(t))
+            || !ty_ok(m.ret_ty)
+            || m.this_var.is_some_and(|v| !var_ok(v))
+            || m.ret_var.is_some_and(|v| !var_ok(v))
+            || m.params.iter().any(|&v| !var_ok(v))
+            || m.vars.iter().any(|&v| !var_ok(v))
+        {
+            return err("method record id out of range");
+        }
+        let mut ok = true;
+        crate::stmt::visit_all(&m.body, &mut |s| {
+            ok &= match *s {
+                Stmt::New { lhs, obj } => var_ok(lhs) && obj.index() < p.objs.len(),
+                Stmt::Assign { lhs, rhs } => var_ok(lhs) && var_ok(rhs),
+                Stmt::Cast(id) => id.index() < p.casts.len(),
+                Stmt::Load(id) => id.index() < p.loads.len(),
+                Stmt::Store(id) => id.index() < p.stores.len(),
+                Stmt::Call(id) => id.index() < p.call_sites.len(),
+                Stmt::Return => true,
+                Stmt::ConstInt { lhs, .. }
+                | Stmt::ConstBool { lhs, .. }
+                | Stmt::ConstNull { lhs } => var_ok(lhs),
+                Stmt::BinOp { lhs, a, b, .. } => var_ok(lhs) && var_ok(a) && var_ok(b),
+                Stmt::If { cond, .. } => var_ok(cond),
+                Stmt::While { cond, .. } => var_ok(cond),
+            };
+        });
+        if !ok {
+            return err("statement id out of range");
+        }
+    }
+    for v in &p.vars {
+        if !method_ok(v.method) || !ty_ok(v.ty) {
+            return err("var record id out of range");
+        }
+    }
+    for o in &p.objs {
+        if !class_ok(o.class) || !method_ok(o.method) {
+            return err("obj record id out of range");
+        }
+    }
+    for c in &p.call_sites {
+        if !method_ok(c.method)
+            || !method_ok(c.target)
+            || c.lhs.is_some_and(|v| !var_ok(v))
+            || c.recv.is_some_and(|v| !var_ok(v))
+            || c.args.iter().any(|&v| !var_ok(v))
+        {
+            return err("call-site record id out of range");
+        }
+    }
+    for l in &p.loads {
+        if !method_ok(l.method) || !var_ok(l.lhs) || !var_ok(l.base) || !field_ok(l.field) {
+            return err("load record id out of range");
+        }
+    }
+    for s in &p.stores {
+        if !method_ok(s.method) || !var_ok(s.base) || !field_ok(s.field) || !var_ok(s.rhs) {
+            return err("store record id out of range");
+        }
+    }
+    for c in &p.casts {
+        if !method_ok(c.method) || !var_ok(c.lhs) || !var_ok(c.rhs) || !ty_ok(c.ty) {
+            return err("cast record id out of range");
+        }
+    }
+    for (_, tys) in &p.sigs {
+        if !tys.iter().all(|&t| ty_ok(t)) {
+            return err("signature type id out of range");
+        }
+    }
+    for table in &p.vtables {
+        for (&s, &m) in table {
+            if (s.0 as usize) >= p.sigs.len() || !method_ok(m) {
+                return err("vtable entry id out of range");
+            }
+        }
+    }
+    for chain in &p.ancestors {
+        if chain.iter().any(|&c| !class_ok(c)) {
+            return err("ancestor chain id out of range");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CallKind as CK, MethodKind as MK, ProgramBuilder};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let object = pb.object_class();
+        let bx = pb.add_class("Box", None);
+        let f = pb.add_field(bx, "f", Type::Class(object));
+        let mut set = pb.begin_method(
+            bx,
+            "set",
+            MK::Instance,
+            &[("v", Type::Class(object))],
+            Type::Void,
+        );
+        let this = set.this().unwrap();
+        let v = set.param(0);
+        set.store(this, f, v);
+        let set = set.finish();
+        let main_class = pb.add_class("Main", None);
+        let mut mb = pb.begin_method(main_class, "main", MK::Static, &[], Type::Void);
+        let b = mb.local("b", Type::Class(bx));
+        let o = mb.local("o", Type::Class(object));
+        mb.new_obj(b, bx, "box@1");
+        mb.new_obj(o, object, "obj@2");
+        mb.call(CK::Virtual, None, Some(b), set, &[o]);
+        let main = mb.finish();
+        pb.set_entry(main);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        let q = Program::from_bytes(&bytes).expect("decodes");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let p = sample();
+        assert_eq!(p.to_bytes(), p.to_bytes());
+        let q = Program::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(p.to_bytes(), q.to_bytes());
+    }
+
+    /// A structurally valid stream whose embedded ids point outside their
+    /// tables must decode to an error, not hand back a program that
+    /// panics the first analysis that indexes with the bad id.
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let mut bad = sample();
+        bad.stores[0].rhs = VarId::new(9999);
+        assert!(matches!(
+            Program::from_bytes(&bad.to_bytes()),
+            Err(DecodeError::Corrupt("store record id out of range"))
+        ));
+        let mut bad = sample();
+        bad.vars[0].method = MethodId::new(9999);
+        assert!(matches!(
+            Program::from_bytes(&bad.to_bytes()),
+            Err(DecodeError::Corrupt("var record id out of range"))
+        ));
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error_not_a_panic() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert_eq!(
+            Program::from_bytes(b"nope"),
+            Err(DecodeError::UnexpectedEof)
+        );
+        assert_eq!(
+            Program::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(DecodeError::UnexpectedEof)
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[6] = 0xEE;
+        assert_eq!(
+            Program::from_bytes(&wrong_version),
+            Err(DecodeError::BadHeader)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            Program::from_bytes(&trailing),
+            Err(DecodeError::Corrupt("trailing bytes"))
+        );
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod bytes;
 mod display;
 mod ids;
 mod program;
@@ -55,6 +56,7 @@ mod stmt;
 mod ty;
 
 pub use builder::{BuildError, MethodBuilder, ProgramBuilder};
+pub use bytes::DecodeError;
 pub use ids::{CallSiteId, CastId, ClassId, FieldId, LoadId, MethodId, ObjId, StoreId, VarId};
 pub use program::{
     CallSite, CastSite, Class, Field, LoadSite, Method, MethodKind, ObjInfo, Program, SigId,

@@ -15,7 +15,7 @@ use crate::ty::Type;
 pub struct SigId(pub(crate) u32);
 
 /// A class declaration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Class {
     pub(crate) name: String,
     pub(crate) superclass: Option<ClassId>,
@@ -48,7 +48,7 @@ impl Class {
 }
 
 /// An instance field declaration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Field {
     pub(crate) name: String,
     pub(crate) class: ClassId,
@@ -82,7 +82,7 @@ pub enum MethodKind {
 }
 
 /// A method declaration with its body.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Method {
     pub(crate) name: String,
     pub(crate) class: ClassId,
@@ -173,7 +173,7 @@ impl Method {
 }
 
 /// Metadata for a local variable.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VarInfo {
     pub(crate) name: String,
     pub(crate) method: MethodId,
@@ -196,7 +196,7 @@ impl VarInfo {
 }
 
 /// Metadata for an allocation site.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ObjInfo {
     pub(crate) class: ClassId,
     pub(crate) method: MethodId,
@@ -219,7 +219,7 @@ impl ObjInfo {
 }
 
 /// A method invocation site.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CallSite {
     pub(crate) method: MethodId,
     pub(crate) kind: CallKind,
@@ -266,7 +266,7 @@ impl CallSite {
 }
 
 /// An instance-field load site `lhs = base.field`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoadSite {
     pub(crate) method: MethodId,
     pub(crate) lhs: VarId,
@@ -294,7 +294,7 @@ impl LoadSite {
 }
 
 /// An instance-field store site `base.field = rhs`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StoreSite {
     pub(crate) method: MethodId,
     pub(crate) base: VarId,
@@ -322,7 +322,7 @@ impl StoreSite {
 }
 
 /// A reference cast site `lhs = (ty) rhs`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CastSite {
     pub(crate) method: MethodId,
     pub(crate) lhs: VarId,
@@ -352,7 +352,7 @@ impl CastSite {
 /// A complete program: entity tables plus the resolved class hierarchy.
 ///
 /// Construct with [`crate::ProgramBuilder`] or via the `csc-frontend` parser.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Program {
     pub(crate) classes: Vec<Class>,
     pub(crate) fields: Vec<Field>,
