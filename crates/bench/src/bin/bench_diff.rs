@@ -26,12 +26,13 @@
 //! thread count. Snapshots predating the `threads` field parse as
 //! `threads = 1`.
 //!
-//! The `parallel_secs` / `coordinator_secs` phase split each row carries
-//! is **informational**: it is parsed, carried through, and printed next
-//! to the comparison (as the fresh run's coordinator share) so phase
-//! drift is visible in CI logs, but it never trips a tolerance — the
-//! split is a decomposition of wall-clock, and wall-clock is already
-//! gated. Snapshots predating the fields parse as absent and print `-`.
+//! The `parallel_secs` / `coordinator_secs` / `commit_secs` phase split
+//! each row carries is **informational**: it is parsed, carried through,
+//! and printed next to the comparison (the fresh run's coordinator share
+//! and the commit section's share of the coordinator) so phase drift is
+//! visible in CI logs, but it never trips a tolerance — the split is a
+//! decomposition of wall-clock, and wall-clock is already gated.
+//! Snapshots predating the fields parse as absent and print `-`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -46,6 +47,9 @@ struct Row {
     parallel_secs: Option<f64>,
     /// Seconds on the coordinator (absent on old snapshots).
     coordinator_secs: Option<f64>,
+    /// Seconds of the coordinator spent in the per-round commit section
+    /// (absent on snapshots predating the sharded commit plane).
+    commit_secs: Option<f64>,
 }
 
 impl Row {
@@ -57,6 +61,16 @@ impl Row {
             return None;
         }
         Some(c / (p + c))
+    }
+
+    /// The commit section's share of the coordinator, when recorded:
+    /// `commit / coordinator`.
+    fn commit_share(&self) -> Option<f64> {
+        let (c, k) = (self.coordinator_secs?, self.commit_secs?);
+        if c <= 0.0 {
+            return None;
+        }
+        Some(k / c)
     }
 }
 
@@ -97,6 +111,7 @@ fn parse(path: &str) -> BTreeMap<Key, Row> {
                 .expect("propagations field"),
             parallel_secs: field(line, "parallel_secs").and_then(|v| v.parse().ok()),
             coordinator_secs: field(line, "coordinator_secs").and_then(|v| v.parse().ok()),
+            commit_secs: field(line, "commit_secs").and_then(|v| v.parse().ok()),
         };
         rows.insert((program, analysis, threads), row);
     }
@@ -152,7 +167,7 @@ fn main() -> ExitCode {
     let fresh = parse(fresh_path);
     let mut failures = 0usize;
     println!(
-        "{:<11} {:<9} {:>3} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7}",
+        "{:<11} {:<9} {:>3} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7} {:>7}",
         "Program",
         "Analysis",
         "Thr",
@@ -162,7 +177,8 @@ fn main() -> ExitCode {
         "base-props",
         "fresh-props",
         "Δprops%",
-        "coord%"
+        "coord%",
+        "commit%"
     );
     for ((program, analysis, threads), base) in &baseline {
         let Some(new) = fresh.get(&(program.clone(), analysis.clone(), *threads)) else {
@@ -190,9 +206,13 @@ fn main() -> ExitCode {
             .coord_share()
             .map(|s| format!("{:>6.1}%", s * 100.0))
             .unwrap_or_else(|| format!("{:>7}", "-"));
+        let commit = new
+            .commit_share()
+            .map(|s| format!("{:>6.1}%", s * 100.0))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
         println!(
             "{program:<11} {analysis:<9} {threads:>3} {:>11.3}s {:>11.3}s {:>8.1}% {:>14} {:>14} \
-             {:>8.1}% {coord}{}",
+             {:>8.1}% {coord} {commit}{}",
             base.time_secs,
             new.time_secs,
             dt,

@@ -33,6 +33,7 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
         "    {{\"program\": \"{program}\", \"analysis\": \"{}\", \"threads\": {}, \
          \"time_secs\": {:.6}, \"completed\": {}, \
          \"parallel_secs\": {:.6}, \"coordinator_secs\": {:.6}, \
+         \"commit_secs\": {:.6}, \
          \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}, \
          \"scc_runs\": {}, \"sccs_collapsed\": {}, \"ptrs_collapsed\": {}",
         row.label,
@@ -41,6 +42,7 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
         row.outcome.completed(),
         stats.parallel_secs,
         stats.coordinator_secs,
+        stats.commit_secs,
         stats.propagations,
         stats.edges,
         stats.pointers,

@@ -67,9 +67,11 @@ impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p
                         batch,
                         txs,
                         rx: inbox,
+                        etxs,
+                        erx,
                     } = job;
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        run_worker(me, &shared, &mut shard, batch, txs, inbox)
+                        run_worker(me, &shared, &mut shard, batch, txs, inbox, etxs, erx)
                     }));
                     // Release the round state *before* reporting: the
                     // coordinator reclaims the Arc's contents as soon as

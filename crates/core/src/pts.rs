@@ -274,24 +274,51 @@ impl PointsToSet {
                 if ob.words.len() > sb.words.len() {
                     sb.words.resize(ob.words.len(), 0);
                 }
-                let mut changed = false;
-                for (w, (&ow, sw)) in ob.words.iter().zip(sb.words.iter_mut()).enumerate() {
-                    let mut new = ow & !*sw;
-                    if new == 0 {
-                        continue;
-                    }
-                    *sw |= ow;
-                    sb.len += new.count_ones();
-                    changed = true;
-                    if let Some(d) = delta.as_deref_mut() {
+                if let Some(d) = delta {
+                    // Delta extraction is inherently serial (bit positions
+                    // must come out in ascending order), so this path keeps
+                    // the word-at-a-time scan.
+                    let mut changed = false;
+                    for (w, (&ow, sw)) in ob.words.iter().zip(sb.words.iter_mut()).enumerate() {
+                        let mut new = ow & !*sw;
+                        if new == 0 {
+                            continue;
+                        }
+                        *sw |= ow;
+                        sb.len += new.count_ones();
+                        changed = true;
                         while new != 0 {
                             let bit = new.trailing_zeros();
                             new &= new - 1;
                             d.push(w as u32 * 64 + bit);
                         }
                     }
+                    changed
+                } else {
+                    // Widen-only union (the accumulator path): branchless
+                    // or-and-popcount over exact-size eight-word chunks.
+                    // The equal-length reslice and the fixed-size inner
+                    // loop keep the hot loop free of bounds checks, which
+                    // is what lets it compile to SIMD or/popcnt batches.
+                    let m = ob.words.len();
+                    let dst = &mut sb.words[..m];
+                    let src = &ob.words[..m];
+                    let mut added = 0u32;
+                    let mut d8 = dst.chunks_exact_mut(8);
+                    let mut s8 = src.chunks_exact(8);
+                    for (dw, sw) in (&mut d8).zip(&mut s8) {
+                        for k in 0..8 {
+                            added += (sw[k] & !dw[k]).count_ones();
+                            dw[k] |= sw[k];
+                        }
+                    }
+                    for (dw, &sw) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+                        added += (sw & !*dw).count_ones();
+                        *dw |= sw;
+                    }
+                    sb.len += added;
+                    added != 0
                 }
-                changed
             }
         }
     }

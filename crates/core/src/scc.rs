@@ -206,6 +206,20 @@ impl UnionFind {
         self.parent[u as usize] == u
     }
 
+    /// [`find`](UnionFind::find) extended over ids the index does not track
+    /// yet: an untracked id is its own representative. The parallel commit
+    /// plane allocates fresh pointer ids on worker threads against a
+    /// round-frozen union-find; those ids join the index (and may be
+    /// aliased onto a canonical duplicate) only at the coordinator's
+    /// reconciliation pass after the round.
+    pub fn find_ext(&self, u: u32) -> u32 {
+        if (u as usize) < self.parent.len() {
+            self.find(u)
+        } else {
+            u
+        }
+    }
+
     /// Points `child` (which must currently be a representative) at `root`.
     pub fn set_parent(&mut self, child: u32, root: u32) {
         debug_assert!(self.parent[child as usize] == child, "child must be a rep");

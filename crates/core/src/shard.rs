@@ -47,17 +47,23 @@
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-use csc_ir::{CallKind, CallSiteId, ClassId, LoadId, ObjId, Program, StoreId};
+use csc_ir::{CallKind, CallSiteId, ClassId, FieldId, LoadId, ObjId, Program, StoreId, VarId};
 
 use crate::context::CtxId;
-use crate::fx::FxHashMap;
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::pts::PointsToSet;
 use crate::scc::UnionFind;
-use crate::solver::{DiscoverCtx, Plugin, PtrId, PtrKey, Reaction};
+use crate::solver::{CsObjId, DiscoverCtx, EdgeKind, Plugin, PtrId, PtrKey, Reaction, ABSENT};
 
-/// One shard of the pointer-slot plane: the points-to sets and pending
-/// accumulators of every slot `i` with `i % nshards == shard_index`. Local
-/// storage index is `i / nshards`.
+/// One shard of the pointer-slot plane: the points-to sets, pending
+/// accumulators, successor lists, and PFG edge-dedup sets of every slot
+/// `i` with `i % nshards == shard_index`. Local storage index is
+/// `i / nshards`.
+///
+/// The PFG growth state (`succ`, `edge_pairs`) lives *inside* the shard —
+/// not in the round-frozen snapshot — so the commit plane can grow the
+/// graph worker-side: a worker owns every edge whose (canonical) source it
+/// owns, and commits it without touching shared mutable state.
 #[derive(Default)]
 pub(crate) struct Shard {
     /// Points-to sets (live at SCC representatives, like the sequential
@@ -65,16 +71,48 @@ pub(crate) struct Shard {
     pub(crate) pts: Vec<PointsToSet>,
     /// Batched worklist accumulators, paired 1:1 with `pts`.
     pub(crate) pending: Vec<PointsToSet>,
+    /// Successors with an optional cast filter, paired 1:1 with `pts`
+    /// (rows live at SCC representatives; see `SolverState::add_edge`).
+    pub(crate) succ: Vec<Vec<(PtrId, Option<ClassId>)>>,
+    /// Per-representative *logical* PFG edge sets, keyed by original
+    /// `(src, dst)` endpoints and grouped under the source's current
+    /// representative (deduplication + `has_edge`; identical with
+    /// collapsing on or off). Grouping by representative keeps ownership
+    /// aligned with `succ`: the shard that owns a source's successor row
+    /// also owns its dedup set, so worker-side edge commits stay
+    /// shard-local. Condensation epochs migrate groups when
+    /// representatives merge.
+    pub(crate) edge_pairs: FxHashMap<u32, FxHashSet<(u32, u32)>>,
+}
+
+/// A per-slot physical placement, installed by topology-aware routing
+/// (`CSC_SHARD_ROUTE=balanced`): slot `i` lives at
+/// `shards[shard[i]].pts[local[i]]`. Absent (the `mod` default and the
+/// state before the first rebalance), placement is the arithmetic
+/// round-robin `(i % n, i / n)`.
+///
+/// Fresh ids minted after a rebalance — by the sequential interner and by
+/// the commit plane's worker strides alike — are always mod-routed: the
+/// stride reservation argument (worker `w` owns ids `≡ w`) is what makes
+/// worker-side allocation lock-free, so only *observed* slots are ever
+/// re-homed, at condensation epochs, seeded by accumulated union cost.
+#[derive(Clone)]
+pub(crate) struct RouteMap {
+    /// Owning shard per slot id.
+    pub(crate) shard: Vec<u32>,
+    /// Row index within the owning shard per slot id.
+    pub(crate) local: Vec<u32>,
 }
 
 /// The complete sharded slot plane: `pts` and `pending` for every interned
-/// pointer, distributed round-robin across shards. With one shard this is
-/// the sequential engine's flat storage behind an index indirection that
-/// compiles to the identity.
+/// pointer, distributed round-robin across shards (or per an installed
+/// [`RouteMap`]). With one shard this is the sequential engine's flat
+/// storage behind an index indirection that compiles to the identity.
 pub(crate) struct ShardedSlots {
     n: u32,
     len: u32,
     pub(crate) shards: Vec<Shard>,
+    pub(crate) route: Option<RouteMap>,
 }
 
 impl ShardedSlots {
@@ -85,12 +123,16 @@ impl ShardedSlots {
             n: u32::try_from(n).expect("shard count fits u32"),
             len: 0,
             shards: (0..n).map(|_| Shard::default()).collect(),
+            route: None,
         }
     }
 
     /// The shard owning slot `i`.
     #[inline]
     pub(crate) fn shard_of(&self, i: u32) -> usize {
+        if let Some(r) = &self.route {
+            return r.shard[i as usize] as usize;
+        }
         if self.n == 1 {
             0
         } else {
@@ -100,6 +142,9 @@ impl ShardedSlots {
 
     #[inline]
     fn loc(&self, i: u32) -> (usize, usize) {
+        if let Some(r) = &self.route {
+            return (r.shard[i as usize] as usize, r.local[i as usize] as usize);
+        }
         if self.n == 1 {
             (0, i as usize)
         } else {
@@ -108,14 +153,138 @@ impl ShardedSlots {
     }
 
     /// Appends one empty slot (the next dense id) and returns nothing; the
-    /// caller assigns ids densely, so slot `len` goes to shard `len % n`.
+    /// caller assigns ids densely, and fresh slots are always mod-routed:
+    /// slot `len` goes to shard `len % n` (appended at the end of that
+    /// shard's rows when a [`RouteMap`] is installed).
     pub(crate) fn push(&mut self) {
-        let (s, l) = self.loc(self.len);
+        let i = self.len;
+        let s = if self.n == 1 {
+            0
+        } else {
+            (i % self.n) as usize
+        };
         let shard = &mut self.shards[s];
-        debug_assert_eq!(shard.pts.len(), l);
+        if let Some(r) = &mut self.route {
+            r.shard.push(s as u32);
+            r.local
+                .push(u32::try_from(shard.pts.len()).expect("row index fits u32"));
+        } else {
+            debug_assert_eq!(shard.pts.len(), (i / self.n) as usize);
+        }
         shard.pts.push(PointsToSet::new());
         shard.pending.push(PointsToSet::new());
+        shard.succ.push(Vec::new());
         self.len += 1;
+    }
+
+    /// Number of slots (the next dense id).
+    #[inline]
+    pub(crate) fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Pads every shard to the layout of a plane with `new_len` dense
+    /// slots after a commit-plane round. The workers appended their stride
+    /// allocations (`appended[w]` rows each, in allocation order) to their
+    /// own shards only, so the shards are ragged and the id gaps of
+    /// under-allocating strides have no rows yet.
+    ///
+    /// Without a route map, shard `s` simply grows to
+    /// `ceil((new_len - s) / n)` rows — worker appends land exactly at
+    /// their arithmetic row positions, and the resize fills the gap ids
+    /// (which all sort after the allocated strides within a shard). With a
+    /// route map installed, the same layout is recorded explicitly: fresh
+    /// ids are mod-owned, allocated strides sit at the end of each shard's
+    /// pre-round rows in stride order, and gap ids get fresh empty rows
+    /// after them.
+    pub(crate) fn pad_to(&mut self, new_len: u32, appended: &[usize]) {
+        debug_assert!(new_len >= self.len);
+        let n = self.n;
+        let old_len = self.len;
+        if let Some(mut route) = self.route.take() {
+            // Rows each shard held before the workers' appends, and the
+            // first stride index of this round's allocations per shard.
+            let base_rows: Vec<usize> = self
+                .shards
+                .iter()
+                .zip(appended)
+                .map(|(sh, &a)| sh.pts.len() - a)
+                .collect();
+            for id in old_len..new_len {
+                let w = (id % n) as usize;
+                let stride = id / n;
+                let first = old_len.saturating_sub(w as u32).div_ceil(n);
+                let local = if ((stride - first) as usize) < appended[w] {
+                    // A worker-allocated id: its row already exists.
+                    base_rows[w] + (stride - first) as usize
+                } else {
+                    // A gap id of an under-allocating stride: append an
+                    // empty row.
+                    let shard = &mut self.shards[w];
+                    let l = shard.pts.len();
+                    shard.pts.push(PointsToSet::new());
+                    shard.pending.push(PointsToSet::new());
+                    shard.succ.push(Vec::new());
+                    l
+                };
+                route.shard.push(w as u32);
+                route
+                    .local
+                    .push(u32::try_from(local).expect("row index fits u32"));
+            }
+            self.route = Some(route);
+        } else {
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                let target = (new_len.saturating_sub(s as u32)).div_ceil(n) as usize;
+                debug_assert!(shard.pts.len() <= target);
+                shard.pts.resize_with(target, PointsToSet::new);
+                shard.pending.resize_with(target, PointsToSet::new);
+                shard.succ.resize_with(target, Vec::new);
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// Physically re-homes every slot per `target` (the new owning shard
+    /// per slot id) and installs the resulting [`RouteMap`]. Rows are
+    /// migrated in slot-id order, so the produced layout — and every
+    /// subsequent worker-side access — is deterministic. Edge-pair groups
+    /// follow their representative's slot.
+    pub(crate) fn apply_route(&mut self, target: Vec<u32>) {
+        debug_assert_eq!(target.len(), self.len as usize);
+        let n = self.n as usize;
+        let mut old =
+            std::mem::replace(&mut self.shards, (0..n).map(|_| Shard::default()).collect());
+        let old_route = self.route.take();
+        let old_loc = |i: u32| -> (usize, usize) {
+            if let Some(r) = &old_route {
+                (r.shard[i as usize] as usize, r.local[i as usize] as usize)
+            } else {
+                ((i as usize) % n, (i as usize) / n)
+            }
+        };
+        let mut route = RouteMap {
+            shard: target,
+            local: Vec::with_capacity(self.len as usize),
+        };
+        for i in 0..self.len {
+            let (os, ol) = old_loc(i);
+            let s = route.shard[i as usize] as usize;
+            let shard = &mut self.shards[s];
+            route
+                .local
+                .push(u32::try_from(shard.pts.len()).expect("row index fits u32"));
+            shard.pts.push(std::mem::take(&mut old[os].pts[ol]));
+            shard.pending.push(std::mem::take(&mut old[os].pending[ol]));
+            shard.succ.push(std::mem::take(&mut old[os].succ[ol]));
+        }
+        for o in &mut old {
+            for (rep, pairs) in o.edge_pairs.drain() {
+                let s = route.shard[rep as usize] as usize;
+                self.shards[s].edge_pairs.insert(rep, pairs);
+            }
+        }
+        self.route = Some(route);
     }
 
     /// Shared points-to set of slot `i`.
@@ -162,6 +331,59 @@ impl ShardedSlots {
     #[inline]
     pub(crate) fn put_pending(&mut self, i: u32, set: PointsToSet) {
         *self.pending_mut(i) = set;
+    }
+
+    /// Successor list of slot `i` (meaningful at representatives).
+    #[inline]
+    pub(crate) fn succ(&self, i: u32) -> &Vec<(PtrId, Option<ClassId>)> {
+        let (s, l) = self.loc(i);
+        &self.shards[s].succ[l]
+    }
+
+    /// Mutable successor list of slot `i`.
+    #[inline]
+    pub(crate) fn succ_mut(&mut self, i: u32) -> &mut Vec<(PtrId, Option<ClassId>)> {
+        let (s, l) = self.loc(i);
+        &mut self.shards[s].succ[l]
+    }
+
+    /// Takes slot `i`'s successor list out, leaving it empty.
+    #[inline]
+    pub(crate) fn take_succ(&mut self, i: u32) -> Vec<(PtrId, Option<ClassId>)> {
+        std::mem::take(self.succ_mut(i))
+    }
+
+    /// Restores a taken successor list.
+    #[inline]
+    pub(crate) fn put_succ(&mut self, i: u32, succ: Vec<(PtrId, Option<ClassId>)>) {
+        *self.succ_mut(i) = succ;
+    }
+
+    /// The edge-dedup pair group of representative `rep`, created on
+    /// demand.
+    #[inline]
+    pub(crate) fn edge_pairs_mut(&mut self, rep: u32) -> &mut FxHashSet<(u32, u32)> {
+        let shard = self.shard_of(rep);
+        self.shards[shard].edge_pairs.entry(rep).or_default()
+    }
+
+    /// The edge-dedup pair group of representative `rep`, if any.
+    #[inline]
+    pub(crate) fn edge_pairs(&self, rep: u32) -> Option<&FxHashSet<(u32, u32)>> {
+        self.shards[self.shard_of(rep)].edge_pairs.get(&rep)
+    }
+
+    /// Removes and returns `rep`'s pair group (condensation epochs migrate
+    /// merged members' groups onto the surviving representative).
+    pub(crate) fn take_edge_pairs(&mut self, rep: u32) -> Option<FxHashSet<(u32, u32)>> {
+        let shard = self.shard_of(rep);
+        self.shards[shard].edge_pairs.remove(&rep)
+    }
+
+    /// Installs a pair group at `rep`'s owning shard.
+    pub(crate) fn put_edge_pairs(&mut self, rep: u32, pairs: FxHashSet<(u32, u32)>) {
+        let shard = self.shard_of(rep);
+        self.shards[shard].edge_pairs.insert(rep, pairs);
     }
 }
 
@@ -260,7 +482,6 @@ pub(crate) enum Derived {
 /// expressing "frozen during the round, mutable between rounds" without
 /// cloning anything but an `Arc` header per round.
 pub(crate) struct RoundShared<'p, P> {
-    pub(crate) succ: Vec<Vec<(PtrId, Option<ClassId>)>>,
     pub(crate) reps: UnionFind,
     pub(crate) members: FxHashMap<u32, Vec<u32>>,
     pub(crate) ptr_keys: Vec<PtrKey>,
@@ -272,6 +493,50 @@ pub(crate) struct RoundShared<'p, P> {
     pub(crate) discovery: bool,
     pub(crate) nshards: u32,
     pub(crate) deadline: Option<std::time::Instant>,
+    /// The frozen intern tables of the sharded commit plane; `None` runs
+    /// the PR-5 coordinator-replay fallback (`CSC_PAR_COMMIT=0`).
+    pub(crate) commit: Option<CommitShared>,
+    /// The slot plane's physical placement, when topology-aware routing
+    /// (`CSC_SHARD_ROUTE=balanced`) has re-homed slots; `None` means the
+    /// arithmetic mod layout. Moved out of [`ShardedSlots`] for the round
+    /// (placement only changes at coordinator-side condensation epochs).
+    pub(crate) route: Option<RouteMap>,
+}
+
+impl<P> RoundShared<'_, P> {
+    /// The shard owning slot `u`. Ids past the route map (fresh stride
+    /// allocations of this round) are always mod-owned.
+    #[inline]
+    pub(crate) fn shard_of(&self, u: u32) -> u32 {
+        match &self.route {
+            Some(r) if (u as usize) < r.shard.len() => r.shard[u as usize],
+            _ => u % self.nshards,
+        }
+    }
+
+    /// The row index of slot `u` within its owning shard. Only valid for
+    /// pre-round slots — this round's fresh stride ids live at worker-local
+    /// appended rows the allocating worker tracks itself.
+    #[inline]
+    pub(crate) fn local_of(&self, u: u32) -> usize {
+        match &self.route {
+            Some(r) => r.local[u as usize] as usize,
+            None => (u / self.nshards) as usize,
+        }
+    }
+}
+
+/// The round-frozen intern tables the commit plane's worker-side interner
+/// reads through. Lookups hit these first; a miss allocates a fresh id
+/// from the worker's own stride (see [`run_worker`]) and records it for
+/// the coordinator's reconciliation pass.
+pub(crate) struct CommitShared {
+    /// Dense empty-context variable pointers ([`ABSENT`] = not interned).
+    pub(crate) ci_var_ptrs: Vec<u32>,
+    /// Residual context-qualified variable pointers.
+    pub(crate) var_ptr_table: FxHashMap<(CtxId, VarId), PtrId>,
+    /// Field pointers.
+    pub(crate) field_ptr_table: FxHashMap<(CsObjId, FieldId), PtrId>,
 }
 
 /// An outbox packet: `(source shard, messages)` where each message is a
@@ -282,6 +547,15 @@ pub(crate) struct RoundShared<'p, P> {
 /// union copies elements.
 pub(crate) type Packet = (usize, Vec<(u32, Arc<PointsToSet>)>);
 
+/// A commit-plane edge request: one `[Load]`/`[Store]` PFG edge by
+/// original `(src, dst)` endpoints (either may be a fresh stride id),
+/// routed to the shard owning the source's representative, which commits
+/// it — dedup, successor push, flush — without coordinator involvement.
+pub(crate) type EdgeReq = (u32, u32, EdgeKind);
+
+/// An edge-commit outbox packet: `(source shard, edge requests)`.
+pub(crate) type EdgePacket = (usize, Vec<EdgeReq>);
+
 /// One round's input to a pooled worker (see `crate::pool`).
 pub(crate) struct RoundJob<'p, P> {
     pub(crate) shared: Arc<RoundShared<'p, P>>,
@@ -291,6 +565,10 @@ pub(crate) struct RoundJob<'p, P> {
     pub(crate) txs: Vec<Sender<Packet>>,
     /// This worker's inbox for the round.
     pub(crate) rx: Receiver<Packet>,
+    /// Edge-commit channels (second exchange; exercised only when the
+    /// commit plane is on).
+    pub(crate) etxs: Vec<Sender<EdgePacket>>,
+    pub(crate) erx: Receiver<EdgePacket>,
 }
 
 /// One committed delta with its worker-derived packets:
@@ -321,6 +599,21 @@ pub(crate) struct WorkerResult {
     /// remaining deltas were restored to pending; the coordinator aborts
     /// the solve).
     pub(crate) timed_out: bool,
+    /// Commit plane: fresh pointers this worker interned, in allocation
+    /// order — `(key, stride id)`. Reconciliation registers the first
+    /// occurrence of each key (shard-major order) as canonical and aliases
+    /// later duplicates onto it.
+    pub(crate) fresh: Vec<(PtrKey, u32)>,
+    /// Commit plane: edges this worker committed into its own shard
+    /// (post-dedup, deterministic order). The coordinator re-checks them
+    /// against the canonicalized id space, counts the survivors, and
+    /// queues their `NewEdge` events.
+    pub(crate) edges: Vec<EdgeReq>,
+    /// Commit plane: flush requests for committed edges whose source
+    /// already had a non-empty points-to set — `(original dst, source
+    /// set)`. The payload was cloned shard-side; the coordinator only
+    /// enqueues it.
+    pub(crate) flushes: Vec<(u32, Arc<PointsToSet>)>,
 }
 
 /// Replays statement fan-out and plugin discovery for one committed delta,
@@ -395,13 +688,182 @@ fn discover_fan_out<P: Plugin>(
     }
 }
 
+/// The commit plane's worker-side interner: frozen-table lookups with
+/// stride-allocated fresh ids.
+///
+/// Worker `s` of `n` owns the id stride `{ l*n + s }`; its `k`-th fresh
+/// pointer this round gets the id `(base + k) * n + s` where `base` is the
+/// shard's slot count at round start — a *pre-reserved, lock-free id
+/// range*: no two workers can allocate the same id, every fresh id is
+/// self-owned (`id % n == s`, so its slot storage appends to the
+/// allocating worker's own shard), and the assignment is a pure function
+/// of the worker's deterministic round schedule, never of cross-thread
+/// timing. Two workers may still intern the *same key* under different
+/// ids; the coordinator's reconciliation pass aliases such duplicates
+/// onto the first occurrence in shard-major order (see
+/// `SolverState::reconcile_round`).
+struct StrideInterner<'a> {
+    commit: &'a CommitShared,
+    me: u32,
+    n: u32,
+    /// Next unallocated stride index — starts at the first index whose id
+    /// `index * n + me` lies past the frozen id space. Derived from the
+    /// frozen `ptr_keys` length, *not* from the shard's row count: with
+    /// topology-aware routing the two decouple (rows migrate between
+    /// shards; the id stride does not).
+    next: u32,
+    /// Worker-local fresh interns (so a key allocated twice by the *same*
+    /// worker reuses its id).
+    fresh_vars: FxHashMap<(CtxId, VarId), u32>,
+    fresh_fields: FxHashMap<(CsObjId, FieldId), u32>,
+    /// Allocation-ordered log for the reconciliation pass.
+    fresh: Vec<(PtrKey, u32)>,
+}
+
+impl StrideInterner<'_> {
+    /// Allocates the next id of this worker's stride and appends its slot
+    /// storage to the owned shard.
+    fn alloc(&mut self, key: PtrKey, shard: &mut Shard) -> u32 {
+        let id = u64::from(self.next) * u64::from(self.n) + u64::from(self.me);
+        let id = u32::try_from(id).expect("too many pointers");
+        self.next += 1;
+        shard.pts.push(PointsToSet::new());
+        shard.pending.push(PointsToSet::new());
+        shard.succ.push(Vec::new());
+        self.fresh.push((key, id));
+        id
+    }
+
+    /// Interns a context-qualified variable pointer (mirrors
+    /// `SolverState::var_ptr`).
+    fn var_ptr(&mut self, ctx: CtxId, v: VarId, shard: &mut Shard) -> u32 {
+        if ctx == CtxId::EMPTY {
+            let slot = self.commit.ci_var_ptrs[v.index()];
+            if slot != ABSENT {
+                return slot;
+            }
+        } else if let Some(&p) = self.commit.var_ptr_table.get(&(ctx, v)) {
+            return p.0;
+        }
+        if let Some(&id) = self.fresh_vars.get(&(ctx, v)) {
+            return id;
+        }
+        let id = self.alloc(PtrKey::Var(ctx, v), shard);
+        self.fresh_vars.insert((ctx, v), id);
+        id
+    }
+
+    /// Interns a field pointer (mirrors `SolverState::field_ptr`).
+    fn field_ptr(&mut self, obj: CsObjId, f: FieldId, shard: &mut Shard) -> u32 {
+        if let Some(&p) = self.commit.field_ptr_table.get(&(obj, f)) {
+            return p.0;
+        }
+        if let Some(&id) = self.fresh_fields.get(&(obj, f)) {
+            return id;
+        }
+        let id = self.alloc(PtrKey::Field(obj, f), shard);
+        self.fresh_fields.insert((obj, f), id);
+        id
+    }
+}
+
+/// Commit-plane fan-out for one committed delta: like [`discover_fan_out`]
+/// but the `[Load]`/`[Store]` rules are *resolved* here — targets interned
+/// through the stride interner, one [`EdgeReq`] per edge routed to the
+/// shard owning the source's representative — instead of shipped to the
+/// coordinator as replay packets. `[Call]` resolutions and plugin
+/// reactions still travel as [`Derived`] packets (context selection and
+/// obligation-table writes stay coordinator-side).
+#[allow(clippy::too_many_arguments)]
+fn commit_fan_out<P: Plugin>(
+    shared: &RoundShared<'_, P>,
+    shard: &mut Shard,
+    interner: &mut StrideInterner<'_>,
+    rep: u32,
+    delta: &PointsToSet,
+    derived: &mut Vec<Derived>,
+    eout: &mut [Vec<EdgeReq>],
+) {
+    let group: &[u32] = shared
+        .members
+        .get(&rep)
+        .map(Vec::as_slice)
+        .unwrap_or(std::slice::from_ref(&rep));
+    let dctx = DiscoverCtx {
+        obj_keys: &shared.obj_keys,
+        program: shared.program,
+    };
+    for &m in group {
+        if let PtrKey::Var(ctx, v) = shared.ptr_keys[m as usize] {
+            // [Load]: one edge per (site, object), source-owner routed.
+            for &l in &shared.stmts.loads_with_base[v.index()] {
+                let site = shared.program.load(l);
+                let t = interner.var_ptr(ctx, site.lhs(), shard);
+                for o in delta.iter() {
+                    let s = interner.field_ptr(CsObjId(o), site.field(), shard);
+                    let owner = shared.shard_of(shared.reps.find_ext(s)) as usize;
+                    eout[owner].push((s, t, EdgeKind::Load(l)));
+                }
+            }
+            // [Store] (cut-aware): all edges share the source, so the
+            // owner is computed once.
+            for &st in &shared.stmts.stores_with_base[v.index()] {
+                if shared.plugin.is_store_cut(st) {
+                    continue;
+                }
+                let site = shared.program.store(st);
+                let s = interner.var_ptr(ctx, site.rhs(), shard);
+                let owner = shared.shard_of(shared.reps.find_ext(s)) as usize;
+                for o in delta.iter() {
+                    let t = interner.field_ptr(CsObjId(o), site.field(), shard);
+                    eout[owner].push((s, t, EdgeKind::Store(st)));
+                }
+            }
+            // [Call]: identical to the replay path — dispatch worker-side,
+            // context selection coordinator-side.
+            for &site in &shared.stmts.calls_with_recv[v.index()] {
+                let cs = shared.program.call_site(site);
+                for recv in delta.iter() {
+                    let (_, obj) = shared.obj_keys[recv as usize];
+                    let callee = match cs.kind() {
+                        CallKind::Virtual => {
+                            let class = shared.program.obj(obj).class();
+                            match shared.program.dispatch(class, cs.target()) {
+                                Some(m) => m,
+                                None => continue,
+                            }
+                        }
+                        CallKind::Special => cs.target(),
+                        CallKind::Static => unreachable!("static calls have no receiver"),
+                    };
+                    derived.push(Derived::Call {
+                        caller_ctx: ctx,
+                        site,
+                        recv,
+                        callee,
+                    });
+                }
+            }
+        }
+        if shared.discovery {
+            let mut reactions = Vec::new();
+            shared
+                .plugin
+                .discover(PtrId(m), delta, &dctx, &mut reactions);
+            derived.extend(reactions.into_iter().map(|r| Derived::React(Box::new(r))));
+        }
+    }
+}
+
 /// Runs one worker's share of a bulk-synchronous propagation round. See
-/// the module docs for the three sub-phases. `shared.deadline` is the
+/// the module docs for the three sub-phases (plus the commit plane's
+/// fourth: edge commit). `shared.deadline` is the
 /// wall-clock budget's cutoff: checked every 1024 propagations like the
 /// sequential engine, so a single oversized round cannot overshoot the
 /// budget unboundedly — on expiry the worker restores its remaining
 /// deltas to pending and still completes the channel protocol (all
 /// sub-phases must run or peers would deadlock).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_worker<P: Plugin>(
     me: usize,
     shared: &RoundShared<'_, P>,
@@ -409,8 +871,16 @@ pub(crate) fn run_worker<P: Plugin>(
     batch: Vec<(u32, PointsToSet)>,
     txs: Vec<Sender<Packet>>,
     rx: Receiver<Packet>,
+    etxs: Vec<Sender<EdgePacket>>,
+    erx: Receiver<EdgePacket>,
 ) -> WorkerResult {
     let nshards = shared.nshards;
+    // Pre-round geometry for this round's fresh stride allocations: the
+    // first unallocated stride index, and the shard row where the first
+    // appended fresh slot will land (row count at round start).
+    let frozen_len = u32::try_from(shared.ptr_keys.len()).expect("too many pointers");
+    let first_stride = frozen_len.saturating_sub(me as u32).div_ceil(nshards);
+    let base_rows = shard.pts.len();
     // Sub-phase 1: propagate. Union incoming deltas into the owned
     // points-to sets; route genuinely new elements to the successors'
     // owning shards.
@@ -419,8 +889,8 @@ pub(crate) fn run_worker<P: Plugin>(
     let mut propagations = 0u64;
     let mut timed_out = false;
     for (rep, incoming) in batch {
-        debug_assert_eq!(rep % nshards, me as u32);
-        let local = (rep / nshards) as usize;
+        debug_assert_eq!(shared.shard_of(rep), me as u32);
+        let local = shared.local_of(rep);
         if timed_out {
             // Restore the drained delta so the partial state stays
             // consistent (the coordinator aborts after this round).
@@ -437,7 +907,10 @@ pub(crate) fn run_worker<P: Plugin>(
             }
         }
         let delta = Arc::new(delta);
-        for &(t, filter) in &shared.succ[rep as usize] {
+        // The successor row lives in this worker's own shard (rows are
+        // stored at representatives, and batch representatives are
+        // self-owned by construction).
+        for &(t, filter) in &shard.succ[local] {
             // Stored targets may be stale (merged away); canonicalize like
             // the sequential engine's enqueue does. A target canonicalizing
             // back onto the source is a no-op (the delta is already in the
@@ -453,7 +926,7 @@ pub(crate) fn run_worker<P: Plugin>(
                 }
             };
             if !payload.is_empty() {
-                out[(trep % nshards) as usize].push((trep, payload));
+                out[shared.shard_of(trep) as usize].push((trep, payload));
             }
         }
         stmt.push((PtrId(rep), delta, 0));
@@ -465,15 +938,51 @@ pub(crate) fn run_worker<P: Plugin>(
     drop(txs);
 
     // Sub-phase 2: fan-out discovery, overlapping the peers' propagate
-    // sub-phase (the outboxes are already on the wire). Reads only the
-    // frozen round state — packets carry keys, not interned ids. All
-    // deltas share one flat packet vector; `stmt` records each delta's
-    // exclusive range end.
+    // sub-phase (the outboxes are already on the wire). With the commit
+    // plane on, `[Load]`/`[Store]` edges are resolved right here — fresh
+    // pointers interned from this worker's pre-reserved id stride, edge
+    // requests routed to the source's owning shard over the second channel
+    // plane. Otherwise everything ships to the coordinator as replay
+    // packets, which read only the frozen round state (keys, not ids).
+    // All deltas share one flat packet vector; `stmt` records each
+    // delta's exclusive range end.
     let mut derived: Vec<Derived> = Vec::new();
-    for (rep, delta, end) in &mut stmt {
-        discover_fan_out(shared, rep.0, delta, &mut derived);
-        *end = u32::try_from(derived.len()).expect("packet count fits u32");
+    let mut fresh: Vec<(PtrKey, u32)> = Vec::new();
+    if let Some(commit) = &shared.commit {
+        let mut interner = StrideInterner {
+            commit,
+            me: me as u32,
+            n: nshards,
+            next: first_stride,
+            fresh_vars: FxHashMap::default(),
+            fresh_fields: FxHashMap::default(),
+            fresh: Vec::new(),
+        };
+        let mut eout: Vec<Vec<EdgeReq>> = vec![Vec::new(); nshards as usize];
+        for (rep, delta, end) in &mut stmt {
+            commit_fan_out(
+                shared,
+                shard,
+                &mut interner,
+                rep.0,
+                delta,
+                &mut derived,
+                &mut eout,
+            );
+            *end = u32::try_from(derived.len()).expect("packet count fits u32");
+        }
+        for (d, tx) in etxs.iter().enumerate() {
+            tx.send((me, std::mem::take(&mut eout[d])))
+                .expect("peer worker hung up");
+        }
+        fresh = interner.fresh;
+    } else {
+        for (rep, delta, end) in &mut stmt {
+            discover_fan_out(shared, rep.0, delta, &mut derived);
+            *end = u32::try_from(derived.len()).expect("packet count fits u32");
+        }
     }
+    drop(etxs);
 
     // Sub-phase 3: merge. Receiving one packet from every shard (self
     // included) doubles as the round barrier; sorting by source shard
@@ -486,8 +995,8 @@ pub(crate) fn run_worker<P: Plugin>(
     let mut newly_queued: Vec<PtrId> = Vec::new();
     for (_, msgs) in packets {
         for (trep, payload) in msgs {
-            debug_assert_eq!(trep % nshards, me as u32);
-            let slot = &mut shard.pending[(trep / nshards) as usize];
+            debug_assert_eq!(shared.shard_of(trep), me as u32);
+            let slot = &mut shard.pending[shared.local_of(trep)];
             let was_empty = slot.is_empty();
             slot.union_with(&payload);
             if was_empty {
@@ -495,11 +1004,68 @@ pub(crate) fn run_worker<P: Plugin>(
             }
         }
     }
+    // Sub-phase 4 (commit plane only): edge commit. Receive one edge
+    // packet from every shard (the second barrier), sort by source shard
+    // for determinism, and commit the edges whose *source representative*
+    // this worker owns: dedup against the owned pair sets, grow the owned
+    // successor rows, and clone flush payloads for edges whose source
+    // already points somewhere. Everything here reads the round-frozen
+    // union-find, so commits are order-independent across shards; the
+    // coordinator re-checks the logs against the canonicalized id space
+    // before counting them.
+    let mut edges: Vec<EdgeReq> = Vec::new();
+    let mut flushes: Vec<(u32, Arc<PointsToSet>)> = Vec::new();
+    if shared.commit.is_some() {
+        let mut epackets: Vec<EdgePacket> = (0..nshards)
+            .map(|_| erx.recv().expect("peer worker hung up"))
+            .collect();
+        epackets.sort_unstable_by_key(|&(src, _)| src);
+        // One flush payload per source representative per round, shared
+        // across its edges by `Arc` like the sequential flush path.
+        let mut flush_cache: FxHashMap<u32, Arc<PointsToSet>> = FxHashMap::default();
+        for (_, reqs) in epackets {
+            for (src, dst, kind) in reqs {
+                if src == dst {
+                    continue;
+                }
+                let csrc = shared.reps.find_ext(src);
+                debug_assert_eq!(shared.shard_of(csrc), me as u32);
+                if !shard.edge_pairs.entry(csrc).or_default().insert((src, dst)) {
+                    continue;
+                }
+                // Pre-round slots resolve through the shared placement;
+                // this round's own fresh stride ids live at the rows this
+                // worker appended past `base_rows`, in stride order.
+                let local = if csrc >= frozen_len {
+                    base_rows + ((csrc / nshards) - first_stride) as usize
+                } else {
+                    shared.local_of(csrc)
+                };
+                if csrc != shared.reps.find_ext(dst) {
+                    // Worker-committed edges are `[Load]`/`[Store]` copies
+                    // — never cast-filtered.
+                    shard.succ[local].push((PtrId(dst), None));
+                    if !shard.pts[local].is_empty() {
+                        let payload = flush_cache
+                            .entry(csrc)
+                            .or_insert_with(|| Arc::new(shard.pts[local].clone()));
+                        flushes.push((dst, Arc::clone(payload)));
+                    }
+                }
+                edges.push((src, dst, kind));
+            }
+        }
+    }
+    drop(erx);
+
     WorkerResult {
         stmt,
         derived,
         newly_queued,
         propagations,
         timed_out,
+        fresh,
+        edges,
+        flushes,
     }
 }

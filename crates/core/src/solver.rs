@@ -112,6 +112,12 @@ pub enum PtrKey {
     Var(CtxId, VarId),
     /// An instance field of a context-qualified object.
     Field(CsObjId, FieldId),
+    /// A commit-plane placeholder: an unused slot in a worker's pre-
+    /// reserved id stride, or a duplicate intern that reconciliation
+    /// aliased onto its canonical id (the alias reads through the
+    /// union-find; its own slot carries no state). Never reachable from
+    /// projections, events, or statement fan-out.
+    Dead,
 }
 
 /// Provenance of a PFG edge; lets plugins distinguish load edges from
@@ -397,6 +403,11 @@ pub struct SolverStats {
     /// `parallel_secs / (parallel_secs + coordinator_secs)` is the
     /// measured Amdahl split of a run.
     pub coordinator_secs: f64,
+    /// Wall-clock seconds of `coordinator_secs` spent in the per-round
+    /// commit section (packet replay, commit-plane reconciliation, flush
+    /// and event delivery) — the slice of the coordinator the sharded
+    /// commit plane exists to shrink. Always 0 on the sequential engine.
+    pub commit_secs: f64,
 }
 
 /// Engine tuning knobs, independent of the analysis policy (context
@@ -420,6 +431,24 @@ pub struct SolverOptions {
     /// any thread count (enforced by `tests/differential.rs`) while its
     /// propagation counts are deterministic per thread count.
     pub threads: usize,
+    /// Sharded commit plane (parallel engine only): workers intern fresh
+    /// pointers from pre-reserved id strides and commit `[Load]`/`[Store]`
+    /// PFG edges shard-locally, leaving the coordinator only call-graph
+    /// merges, reconciliation, and condensation epochs. `None` (the
+    /// default) reads the `CSC_PAR_COMMIT` environment variable at solve
+    /// start (unset or non-`0` = on); tests pass explicit values so runs
+    /// never race on the environment. Ignored when `threads == 1`.
+    pub par_commit: Option<bool>,
+    /// Topology-aware shard routing (parallel engine only): at each
+    /// condensation epoch, re-home slots across shards by a greedy
+    /// longest-processing-time pass seeded by observed per-representative
+    /// union cost, replacing the arithmetic `id % nshards` placement.
+    /// Precision- and determinism-neutral — routing only changes *where* a
+    /// slot's row physically lives. `None` (the default) reads the
+    /// `CSC_SHARD_ROUTE` environment variable at solve start (`balanced` =
+    /// on, anything else — including unset, the `mod` default — = off);
+    /// tests pass explicit values. Ignored when `threads == 1`.
+    pub balanced_route: Option<bool>,
 }
 
 impl Default for SolverOptions {
@@ -428,6 +457,8 @@ impl Default for SolverOptions {
             collapse_sccs: true,
             collapse_epoch: None,
             threads: 1,
+            par_commit: None,
+            balanced_route: None,
         }
     }
 }
@@ -456,6 +487,38 @@ impl SolverOptions {
         SolverOptions { threads, ..self }
     }
 
+    /// The same options with the commit plane explicitly on or off
+    /// (bypasses the `CSC_PAR_COMMIT` environment fallback).
+    pub fn with_par_commit(self, on: bool) -> Self {
+        SolverOptions {
+            par_commit: Some(on),
+            ..self
+        }
+    }
+
+    /// Whether the sharded commit plane is enabled for these options
+    /// (environment fallback resolved).
+    pub fn resolved_par_commit(&self) -> bool {
+        self.par_commit
+            .unwrap_or_else(|| std::env::var("CSC_PAR_COMMIT").map_or(true, |v| v != "0"))
+    }
+
+    /// The same options with topology-aware shard routing explicitly on or
+    /// off (bypasses the `CSC_SHARD_ROUTE` environment fallback).
+    pub fn with_balanced_route(self, on: bool) -> Self {
+        SolverOptions {
+            balanced_route: Some(on),
+            ..self
+        }
+    }
+
+    /// Whether topology-aware shard routing is enabled for these options
+    /// (environment fallback resolved; `mod` is the default).
+    pub fn resolved_balanced_route(&self) -> bool {
+        self.balanced_route
+            .unwrap_or_else(|| std::env::var("CSC_SHARD_ROUTE").is_ok_and(|v| v == "balanced"))
+    }
+
     /// The worker-thread count these options resolve to on this machine.
     pub fn resolved_threads(&self) -> usize {
         match self.threads {
@@ -468,7 +531,7 @@ impl SolverOptions {
 }
 
 /// Sentinel for "not interned yet" in the dense CI tables.
-const ABSENT: u32 = u32::MAX;
+pub(crate) const ABSENT: u32 = u32::MAX;
 
 /// The complete mutable analysis state. Plugins receive `&mut` access.
 pub struct SolverState<'p> {
@@ -490,23 +553,21 @@ pub struct SolverState<'p> {
     obj_table: FxHashMap<(CtxId, ObjId), CsObjId>,
     obj_keys: Vec<(CtxId, ObjId)>,
 
-    /// Points-to sets and pending-delta accumulators, stored at SCC
-    /// representatives and sharded round-robin by slot id for the parallel
-    /// engine (one shard when sequential); merged members keep an empty
-    /// slot and read through [`SolverState::repr`].
-    slots: crate::shard::ShardedSlots,
-    /// Successors with an optional cast filter: only objects whose class
-    /// is a subtype of the filter class propagate along the edge
+    /// Points-to sets, pending-delta accumulators, successor lists, and
+    /// PFG edge-dedup sets, stored at SCC representatives and sharded
+    /// round-robin by slot id for the parallel engine (one shard when
+    /// sequential); merged members keep an empty slot and read through
+    /// [`SolverState::repr`].
+    ///
+    /// Successor entries carry an optional cast filter: only objects whose
+    /// class is a subtype of the filter class propagate along the edge
     /// (`checkcast` semantics, as in Tai-e and Doop). Lists live at SCC
     /// representatives; stored targets may be stale (merged away) and are
     /// re-canonicalized at enqueue time and at each condensation epoch.
-    succ: Vec<Vec<(PtrId, Option<csc_ir::ClassId>)>>,
-    /// Per-source *logical* PFG edge-target sets, keyed by original
-    /// endpoints (deduplication + `has_edge`; identical with collapsing on
-    /// or off). Hash sets keep the memory proportional to the edge count
-    /// (a bitmap here would scale with the *maximum* target id per hub
-    /// source).
-    edge_targets: Vec<FxHashSet<u32>>,
+    /// Edge dedup is on *original* `(src, dst)` endpoints, grouped under
+    /// the source's representative so the owning shard can commit edges
+    /// worker-side (see `crate::shard::Shard`).
+    slots: crate::shard::ShardedSlots,
 
     /// Representative index for SCC-collapsed propagation.
     reps: crate::scc::UnionFind,
@@ -518,6 +579,17 @@ pub struct SolverState<'p> {
     opts: SolverOptions,
     /// Resolved propagation worker count (>= 1).
     nthreads: usize,
+    /// Resolved commit-plane switch (parallel engine only; see
+    /// [`SolverOptions::par_commit`]).
+    par_commit: bool,
+    /// Resolved topology-aware routing switch (parallel engine only; see
+    /// [`SolverOptions::balanced_route`]).
+    balanced_route: bool,
+    /// Observed union cost per slot id (elements committed into the slot's
+    /// set), tracked only under `balanced_route`: the seed for the greedy
+    /// shard-rebalance pass at condensation epochs. Grown lazily; merged
+    /// onto the surviving representative when SCCs collapse.
+    route_cost: Vec<u64>,
 
     /// Batched worklist: the FIFO of pointers with a non-empty pending
     /// accumulator (the accumulators themselves live in `slots`).
@@ -566,11 +638,12 @@ impl<'p> SolverState<'p> {
             obj_table: FxHashMap::default(),
             obj_keys: Vec::new(),
             slots: crate::shard::ShardedSlots::new(nthreads),
-            succ: Vec::new(),
-            edge_targets: Vec::new(),
             reps: crate::scc::UnionFind::new(),
             members: FxHashMap::default(),
             copy_edges_since_collapse: 0,
+            par_commit: nthreads > 1 && opts.resolved_par_commit(),
+            balanced_route: nthreads > 1 && opts.resolved_balanced_route(),
+            route_cost: Vec::new(),
             opts,
             nthreads,
             queue: VecDeque::new(),
@@ -595,8 +668,6 @@ impl<'p> SolverState<'p> {
         let id = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
         self.ptr_keys.push(key);
         self.slots.push();
-        self.succ.push(Vec::new());
-        self.edge_targets.push(FxHashSet::default());
         self.reps.push();
         self.stats.pointers += 1;
         id
@@ -712,6 +783,7 @@ impl<'p> SolverState<'p> {
             }
             PtrKey::Var(ctx, v) => self.var_ptr_table.get(&(ctx, v)).copied(),
             PtrKey::Field(obj, f) => self.field_ptr_table.get(&(obj, f)).copied(),
+            PtrKey::Dead => None,
         }
     }
 
@@ -758,7 +830,11 @@ impl<'p> SolverState<'p> {
     /// is still counted, deduplicated, and delivered as a [`Event::NewEdge`]
     /// so plugins observe the same PFG as the uncollapsed solver.
     pub fn add_edge(&mut self, src: PtrId, dst: PtrId, kind: EdgeKind) {
-        if src == dst || !self.edge_targets[src.0 as usize].insert(dst.0) {
+        if src == dst {
+            return;
+        }
+        let csrc = self.reps.find(src.0);
+        if !self.slots.edge_pairs_mut(csrc).insert((src.0, dst.0)) {
             return;
         }
         let filter = match kind {
@@ -766,12 +842,11 @@ impl<'p> SolverState<'p> {
             _ => None,
         };
         self.stats.edges += 1;
-        let csrc = self.reps.find(src.0);
         if csrc != self.reps.find(dst.0) {
             if filter.is_none() {
                 self.copy_edges_since_collapse += 1;
             }
-            self.succ[csrc as usize].push((dst, filter));
+            self.slots.succ_mut(csrc).push((dst, filter));
             if !self.slots.pts(csrc).is_empty() {
                 match filter {
                     None => {
@@ -799,9 +874,12 @@ impl<'p> SolverState<'p> {
         crate::shard::filter_pts(objs, class, &self.obj_keys, self.program)
     }
 
-    /// Whether a PFG edge already exists.
+    /// Whether a PFG edge already exists (original endpoints, like the
+    /// dedup in [`SolverState::add_edge`]).
     pub fn has_edge(&self, src: PtrId, dst: PtrId) -> bool {
-        self.edge_targets[src.0 as usize].contains(&dst.0)
+        self.slots
+            .edge_pairs(self.reps.find(src.0))
+            .is_some_and(|pairs| pairs.contains(&(src.0, dst.0)))
     }
 
     /// Injects objects into a pointer's points-to set (via the worklist).
@@ -973,6 +1051,9 @@ impl<'p> SolverState<'p> {
             return true;
         };
         self.stats.propagations += 1;
+        if self.balanced_route {
+            self.bump_route_cost(ptr.0, delta.len() as u64);
+        }
         if let Some(max) = self.budget.max_propagations {
             if self.stats.propagations > max {
                 return false;
@@ -991,7 +1072,7 @@ impl<'p> SolverState<'p> {
         // around the loop — nothing inside `enqueue`/`apply_filter` can
         // reach `succ`, and the split borrow avoids re-indexing (and
         // historically an O(|succ|) clone) per delta.
-        let succ = std::mem::take(&mut self.succ[ptr.0 as usize]);
+        let succ = self.slots.take_succ(ptr.0);
         for &(t, filter) in &succ {
             match filter {
                 None => self.enqueue(t, &delta),
@@ -1001,8 +1082,8 @@ impl<'p> SolverState<'p> {
                 }
             }
         }
-        debug_assert!(self.succ[ptr.0 as usize].is_empty());
-        self.succ[ptr.0 as usize] = succ;
+        debug_assert!(self.slots.succ(ptr.0).is_empty());
+        self.slots.put_succ(ptr.0, succ);
 
         self.fan_out(selector, plugin, ptr, delta);
         true
@@ -1175,7 +1256,7 @@ impl<'p> SolverState<'p> {
                 continue;
             }
             let mut out: Vec<u32> = Vec::new();
-            for &(t, filter) in &self.succ[u as usize] {
+            for &(t, filter) in self.slots.succ(u) {
                 if filter.is_none() {
                     let c = self.reps.find(t.0);
                     if c != u {
@@ -1216,6 +1297,19 @@ impl<'p> SolverState<'p> {
             for &m in &group[1..] {
                 self.reps.set_parent(m, rep);
             }
+            if self.balanced_route {
+                // Merged members' accumulated union cost follows the
+                // surviving representative, like their sets do.
+                for &m in &group[1..] {
+                    let c = self
+                        .route_cost
+                        .get_mut(m as usize)
+                        .map_or(0, std::mem::take);
+                    if c != 0 {
+                        self.bump_route_cost(rep, c);
+                    }
+                }
+            }
             // Rebuild the representative's successor list: canonical
             // targets, intra-SCC edges dropped (the shared set makes them
             // no-ops), physical duplicates that earlier merges created
@@ -1224,14 +1318,31 @@ impl<'p> SolverState<'p> {
             let mut new_succ: Vec<(PtrId, Option<csc_ir::ClassId>)> = Vec::new();
             let mut seen: FxHashSet<(u32, Option<csc_ir::ClassId>)> = FxHashSet::default();
             for &m in &group {
-                for (t, filter) in std::mem::take(&mut self.succ[m as usize]) {
+                for (t, filter) in self.slots.take_succ(m) {
                     let c = self.reps.find(t.0);
                     if c != rep && seen.insert((c, filter)) {
                         new_succ.push((PtrId(c), filter));
                     }
                 }
             }
-            self.succ[rep as usize] = new_succ;
+            self.slots.put_succ(rep, new_succ);
+            // Migrate the merged members' edge-dedup groups onto the
+            // surviving representative (pairs keep their original
+            // endpoints — only the grouping key, and with it the owning
+            // shard, changes).
+            let mut pairs = self.slots.take_edge_pairs(rep).unwrap_or_default();
+            for &m in &group[1..] {
+                if let Some(p) = self.slots.take_edge_pairs(m) {
+                    if pairs.is_empty() {
+                        pairs = p;
+                    } else {
+                        pairs.extend(p);
+                    }
+                }
+            }
+            if !pairs.is_empty() {
+                self.slots.put_edge_pairs(rep, pairs);
+            }
             // Merge the pending accumulators; requeue the representative if
             // a member (but not the representative itself) was queued.
             let mut pend = self.slots.take_pending(rep);
@@ -1258,7 +1369,7 @@ impl<'p> SolverState<'p> {
             if self.slots.pts(rep).is_empty() {
                 continue;
             }
-            let succ = std::mem::take(&mut self.succ[rep as usize]);
+            let succ = self.slots.take_succ(rep);
             let pts = self.slots.take_pts(rep);
             for &(t, filter) in &succ {
                 match filter {
@@ -1270,8 +1381,8 @@ impl<'p> SolverState<'p> {
                 }
             }
             self.slots.put_pts(rep, pts);
-            debug_assert!(self.succ[rep as usize].is_empty());
-            self.succ[rep as usize] = succ;
+            debug_assert!(self.slots.succ(rep).is_empty());
+            self.slots.put_succ(rep, succ);
         }
         // Replay pass 2: per-member catch-up for elements a member had not
         // seen before its set was unified.
@@ -1286,6 +1397,53 @@ impl<'p> SolverState<'p> {
                 });
             }
         }
+
+        // Topology-aware routing: re-home slots by observed union cost now
+        // that representatives are canonical for the epoch.
+        if self.balanced_route {
+            self.rebalance_shards();
+        }
+    }
+
+    /// Accumulates observed union cost against slot `rep` (the seed for
+    /// [`SolverState::rebalance_shards`]). Only called under
+    /// `balanced_route`, so the `mod` default pays nothing.
+    fn bump_route_cost(&mut self, rep: u32, amount: u64) {
+        if self.route_cost.len() <= rep as usize {
+            self.route_cost.resize(rep as usize + 1, 0);
+        }
+        self.route_cost[rep as usize] += amount;
+    }
+
+    /// The topology-aware routing pass (`CSC_SHARD_ROUTE=balanced`), run
+    /// at condensation epochs: assigns live representatives to shards by a
+    /// greedy longest-processing-time bin-pack over accumulated union cost
+    /// — heaviest first (ties to the lower id), each onto the currently
+    /// least-loaded shard (ties to the lower shard index) — leaves
+    /// non-representative slots on the round-robin layout, and physically
+    /// migrates the rows ([`crate::shard::ShardedSlots::apply_route`]).
+    /// Purely a placement change: slot ids, and with them every projection
+    /// and propagation count, are untouched, so runs stay deterministic
+    /// per (thread count, commit mode, route mode).
+    fn rebalance_shards(&mut self) {
+        let n = self.nthreads;
+        let len = self.slots.len();
+        let mut target: Vec<u32> = (0..len).map(|i| i % n as u32).collect();
+        let mut ranked: Vec<(u64, u32)> = (0..len)
+            .filter(|&u| self.reps.is_rep(u))
+            .map(|u| (self.route_cost.get(u as usize).copied().unwrap_or(0), u))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut load = vec![0u64; n];
+        for (cost, u) in ranked {
+            let s = (0..n).min_by_key(|&s| load[s]).expect("at least one shard");
+            // Even a zero-cost representative counts one unit, so
+            // never-propagated slots still spread across shards instead of
+            // piling onto shard 0.
+            load[s] += cost.max(1);
+            target[u as usize] = u32::try_from(s).expect("shard index fits u32");
+        }
+        self.slots.apply_route(target);
     }
 
     // ---- sharded parallel propagation -------------------------------------
@@ -1366,8 +1524,15 @@ impl<'p> SolverState<'p> {
             .as_ref()
             .expect("plugin present between rounds")
             .parallel_discovery();
+        // The commit plane additionally freezes the intern tables: workers
+        // read them to resolve `[Load]`/`[Store]` targets, allocating
+        // misses from their pre-reserved id strides.
+        let commit = self.par_commit.then(|| crate::shard::CommitShared {
+            ci_var_ptrs: std::mem::take(&mut self.ci_var_ptrs),
+            var_ptr_table: std::mem::take(&mut self.var_ptr_table),
+            field_ptr_table: std::mem::take(&mut self.field_ptr_table),
+        });
         let shared = std::sync::Arc::new(crate::shard::RoundShared {
-            succ: std::mem::take(&mut self.succ),
             reps: std::mem::take(&mut self.reps),
             members: std::mem::take(&mut self.members),
             ptr_keys: std::mem::take(&mut self.ptr_keys),
@@ -1378,21 +1543,29 @@ impl<'p> SolverState<'p> {
             discovery,
             nshards: n as u32,
             deadline: self.budget.time.map(|limit| self.started + limit),
+            commit,
+            route: self.slots.route.take(),
         });
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..n)
             .map(|_| std::sync::mpsc::channel::<crate::shard::Packet>())
             .unzip();
+        let (etxs, erxs): (Vec<_>, Vec<_>) = (0..n)
+            .map(|_| std::sync::mpsc::channel::<crate::shard::EdgePacket>())
+            .unzip();
         let mut jobs = Vec::with_capacity(n);
-        for (i, (batch, rx)) in work.into_iter().zip(rxs).enumerate() {
+        for (i, ((batch, rx), erx)) in work.into_iter().zip(rxs).zip(erxs).enumerate() {
             jobs.push(crate::shard::RoundJob {
                 shared: std::sync::Arc::clone(&shared),
                 shard: std::mem::take(&mut self.slots.shards[i]),
                 batch,
                 txs: txs.clone(),
                 rx,
+                etxs: etxs.clone(),
+                erx,
             });
         }
         drop(txs);
+        drop(etxs);
 
         // Parallel phase: the pooled workers run; the coordinator only
         // waits at the barrier. This span is what `parallel_secs` counts.
@@ -1405,12 +1578,17 @@ impl<'p> SolverState<'p> {
         let Ok(shared) = std::sync::Arc::try_unwrap(shared) else {
             unreachable!("round state still shared after the barrier")
         };
-        self.succ = shared.succ;
         self.reps = shared.reps;
         self.members = shared.members;
         self.ptr_keys = shared.ptr_keys;
         self.obj_keys = shared.obj_keys;
         self.stmts = shared.stmts;
+        if let Some(c) = shared.commit {
+            self.ci_var_ptrs = c.ci_var_ptrs;
+            self.var_ptr_table = c.var_ptr_table;
+            self.field_ptr_table = c.field_ptr_table;
+        }
+        self.slots.route = shared.route;
         *plugin = Some(shared.plugin);
 
         // Coordinator phase: restore the shards, requeue newly pending
@@ -1418,48 +1596,213 @@ impl<'p> SolverState<'p> {
         // order (deterministic).
         let mut stmt_groups: Vec<(Vec<crate::shard::DeltaCommit>, Vec<crate::shard::Derived>)> =
             Vec::with_capacity(n);
+        let mut fresh_logs = Vec::with_capacity(n);
+        let mut edge_logs = Vec::with_capacity(n);
+        let mut flush_logs = Vec::with_capacity(n);
         let mut timed_out = false;
         for (i, (shard, r)) in results.into_iter().enumerate() {
             self.slots.shards[i] = shard;
             self.stats.propagations += r.propagations;
             self.queue.extend(r.newly_queued);
             stmt_groups.push((r.stmt, r.derived));
+            fresh_logs.push(r.fresh);
+            edge_logs.push(r.edges);
+            flush_logs.push(r.flushes);
             timed_out |= r.timed_out;
         }
-        if timed_out {
-            return false;
+
+        // Commit section (what `commit_secs` measures): reconcile the
+        // workers' id-stride allocations and edge commits, then replay the
+        // derived packets. Reconciliation runs even on an aborting round
+        // so the id space and the already-mutated shards stay consistent;
+        // only the derived packets are dropped, like the replay path.
+        let commit_start = Instant::now();
+        if self.par_commit {
+            self.reconcile_round(fresh_logs, edge_logs, flush_logs);
         }
-        if let Some(max) = self.budget.max_propagations {
-            if self.stats.propagations > max {
-                return false;
+        let ok = 'commit: {
+            if timed_out {
+                break 'commit false;
+            }
+            if let Some(max) = self.budget.max_propagations {
+                if self.stats.propagations > max {
+                    break 'commit false;
+                }
+            }
+            if let Some(limit) = self.budget.time {
+                if self.started.elapsed() > limit {
+                    break 'commit false;
+                }
+            }
+            let p = plugin.as_mut().expect("plugin restored after the round");
+            for (stmts, derived) in stmt_groups {
+                let mut packets = derived.into_iter();
+                let mut start = 0u32;
+                for (ptr, delta, end) in stmts {
+                    // The outbox clones were merged and dropped in the
+                    // workers' merge sub-phase, so this unwraps copy-free.
+                    let delta = std::sync::Arc::unwrap_or_clone(delta);
+                    if self.balanced_route {
+                        self.bump_route_cost(ptr.0, delta.len() as u64);
+                    }
+                    let count = (end - start) as usize;
+                    start = end;
+                    self.commit_derived(
+                        selector,
+                        p,
+                        ptr,
+                        &delta,
+                        packets.by_ref().take(count),
+                        discovery,
+                    );
+                }
+            }
+            true
+        };
+        self.stats.commit_secs += commit_start.elapsed().as_secs_f64();
+        ok
+    }
+
+    /// The commit plane's coordinator-side reconciliation, run once per
+    /// parallel round after the shards are restored.
+    ///
+    /// Workers interned fresh pointers from disjoint id strides, so ids
+    /// never collide — but two workers may have interned the *same key*
+    /// under different ids. This pass canonicalizes, in deterministic
+    /// shard-major allocation order:
+    ///
+    /// * **Pass A** — register each fresh key: the first occurrence keeps
+    ///   its id (written into `ptr_keys` and the intern tables); later
+    ///   duplicates are *aliased* — their key slot stays [`PtrKey::Dead`],
+    ///   their union-find entry is parented onto the canonical id (so any
+    ///   stored reference canonicalizes through `repr`), and they never
+    ///   join a `members` group (merge election only considers live
+    ///   representatives).
+    /// * **Pass B** — migrate the duplicates' worker-committed growth
+    ///   (successor rows, edge-pair groups) onto their canonicals,
+    ///   *verbatim*: pass C rewrites endpoints through the alias map, and
+    ///   rewriting them here too would make its canonical-pair inserts
+    ///   collide with themselves.
+    /// * **Pass C** — re-check the workers' edge logs against the
+    ///   canonical id space: rewritten pairs replace their raw entries in
+    ///   the dedup groups; a pair another worker already committed under a
+    ///   different fresh id is dropped (its leftover successor entry is
+    ///   idempotent and deduplicated at the next condensation epoch).
+    ///   Survivors are counted and, when events are on, announced — the
+    ///   workers never touch `SolverStats`.
+    ///
+    /// Finally the workers' flush payloads (source sets cloned shard-side
+    /// at edge-commit time) are enqueued; `enqueue` routes them through
+    /// `repr`, so flushes to an aliased duplicate land on its canonical.
+    fn reconcile_round(
+        &mut self,
+        fresh: Vec<Vec<(PtrKey, u32)>>,
+        edges: Vec<Vec<crate::shard::EdgeReq>>,
+        flushes: Vec<Vec<(u32, std::sync::Arc<PointsToSet>)>>,
+    ) {
+        // Pad the slot plane to the post-round layout (each worker
+        // appended rows for its own stride only, leaving shards ragged).
+        let mut new_len = self.slots.len();
+        for log in &fresh {
+            // Stride ids are allocated in increasing order per worker.
+            if let Some(&(_, id)) = log.last() {
+                new_len = new_len.max(id + 1);
             }
         }
-        if let Some(limit) = self.budget.time {
-            if self.started.elapsed() > limit {
-                return false;
+        if new_len > self.slots.len() {
+            let appended: Vec<usize> = fresh.iter().map(Vec::len).collect();
+            self.slots.pad_to(new_len, &appended);
+            let old_len = u32::try_from(self.ptr_keys.len()).expect("too many pointers");
+            self.ptr_keys.resize(new_len as usize, PtrKey::Dead);
+            for _ in old_len..new_len {
+                self.reps.push();
             }
         }
-        let p = plugin.as_mut().expect("plugin restored after the round");
-        for (stmts, derived) in stmt_groups {
-            let mut packets = derived.into_iter();
-            let mut start = 0u32;
-            for (ptr, delta, end) in stmts {
-                // The outbox clones were merged and dropped in the workers'
-                // merge sub-phase, so this unwraps copy-free.
-                let delta = std::sync::Arc::unwrap_or_clone(delta);
-                let count = (end - start) as usize;
-                start = end;
-                self.commit_derived(
-                    selector,
-                    p,
-                    ptr,
-                    &delta,
-                    packets.by_ref().take(count),
-                    discovery,
-                );
+
+        // Pass A.
+        let mut alias: FxHashMap<u32, u32> = FxHashMap::default();
+        for log in &fresh {
+            for &(key, id) in log {
+                debug_assert!(matches!(self.ptr_keys[id as usize], PtrKey::Dead));
+                if let Some(canon) = self.find_ptr(key) {
+                    alias.insert(id, canon.0);
+                    self.reps.set_parent(id, canon.0);
+                    continue;
+                }
+                self.ptr_keys[id as usize] = key;
+                match key {
+                    PtrKey::Var(ctx, v) if ctx == CtxId::EMPTY => {
+                        self.ci_var_ptrs[v.index()] = id;
+                    }
+                    PtrKey::Var(ctx, v) => {
+                        self.var_ptr_table.insert((ctx, v), PtrId(id));
+                    }
+                    PtrKey::Field(obj, f) => {
+                        self.field_ptr_table.insert((obj, f), PtrId(id));
+                    }
+                    PtrKey::Dead => unreachable!("workers never intern dead keys"),
+                }
+                self.stats.pointers += 1;
             }
         }
-        true
+
+        // Pass B (skipped entirely in the common no-duplicates case).
+        if !alias.is_empty() {
+            for log in &fresh {
+                for &(_, id) in log {
+                    let Some(&canon) = alias.get(&id) else {
+                        continue;
+                    };
+                    let succ = self.slots.take_succ(id);
+                    if !succ.is_empty() {
+                        self.slots.succ_mut(canon).extend(succ);
+                    }
+                    if let Some(pairs) = self.slots.take_edge_pairs(id) {
+                        let group = self.slots.edge_pairs_mut(canon);
+                        if group.is_empty() {
+                            *group = pairs;
+                        } else {
+                            group.extend(pairs);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass C.
+        for log in &edges {
+            for &(src, dst, kind) in log {
+                let asrc = alias.get(&src).copied().unwrap_or(src);
+                let adst = alias.get(&dst).copied().unwrap_or(dst);
+                if (asrc, adst) != (src, dst) {
+                    let csrc = self.reps.find(asrc);
+                    let group = self.slots.edge_pairs_mut(csrc);
+                    group.remove(&(src, dst));
+                    if asrc == adst || !group.insert((asrc, adst)) {
+                        continue;
+                    }
+                }
+                self.stats.edges += 1;
+                if self.reps.find(asrc) != self.reps.find(adst) {
+                    // Worker-committed edges are unfiltered copies.
+                    self.copy_edges_since_collapse += 1;
+                }
+                if self.emit_events {
+                    self.events.push_back(Event::NewEdge {
+                        src: PtrId(asrc),
+                        dst: PtrId(adst),
+                        kind,
+                    });
+                }
+            }
+        }
+
+        // Flushes, in (shard, commit) order.
+        for log in flushes {
+            for (dst, payload) in log {
+                self.enqueue(PtrId(dst), &payload);
+            }
+        }
     }
 
     /// Commits one committed delta's worker-derived packets: interning,

@@ -123,9 +123,14 @@ fn differential(
 }
 
 /// Runs one (program, analysis) pair on the sequential engine and on the
-/// sharded parallel engine at each requested thread count, asserting
-/// bit-identical projections throughout. `base_opts` carries the epoch
-/// configuration so collapse-during-parallel paths get stressed too.
+/// sharded parallel engine at each requested thread count — under both
+/// commit modes: the sharded commit plane (worker-owned edge growth +
+/// stride interning) and the coordinator-replay fallback (the
+/// `CSC_PAR_COMMIT=0` path) — asserting bit-identical projections
+/// throughout. The mode is pinned through [`SolverOptions`] rather than
+/// the env var so the matrix is race-free under parallel test execution.
+/// `base_opts` carries the epoch configuration so
+/// collapse-during-parallel paths get stressed too.
 fn differential_threads(
     program: &Program,
     analysis: Analysis,
@@ -142,15 +147,24 @@ fn differential_threads(
     assert!(seq.completed(), "{what}: sequential run hit budget");
     let p_seq = Projections::capture(program, &seq.result);
     for &t in threads {
-        let par = run_analysis_opts(
-            program,
-            analysis.clone(),
-            Budget::unlimited(),
-            base_opts.with_threads(t),
-        );
-        assert!(par.completed(), "{what}: {t}-thread run hit budget");
-        let p_par = Projections::capture(program, &par.result);
-        p_par.assert_identical(&p_seq, program, &format!("{what} [threads={t} vs 1]"));
+        for commit in [true, false] {
+            let par = run_analysis_opts(
+                program,
+                analysis.clone(),
+                Budget::unlimited(),
+                base_opts.with_threads(t).with_par_commit(commit),
+            );
+            assert!(
+                par.completed(),
+                "{what}: {t}-thread (commit={commit}) run hit budget"
+            );
+            let p_par = Projections::capture(program, &par.result);
+            p_par.assert_identical(
+                &p_seq,
+                program,
+                &format!("{what} [threads={t}, commit={commit} vs 1]"),
+            );
+        }
     }
 }
 
@@ -184,6 +198,30 @@ fn differential_parallel_small_suite() {
                 SolverOptions::with_epoch(32),
                 &[2, 4, 8],
                 &what,
+            );
+        }
+    }
+}
+
+/// Topology-aware shard routing (`CSC_SHARD_ROUTE=balanced`) re-homes
+/// slots at condensation epochs; the differential contract is unchanged —
+/// routing is a physical-placement lever, so projections must stay
+/// bit-identical to the sequential engine under both commit modes. The
+/// mode is pinned through [`SolverOptions`] (race-free, like the commit
+/// switch); the aggressive epoch forces many rebalance passes, so rows
+/// migrate while strides, outboxes, and edge commits are in flight
+/// between epochs.
+#[test]
+fn differential_parallel_balanced_route() {
+    for name in ["hsqldb", "findbugs"] {
+        let program = csc_workloads::compiled(name).unwrap();
+        for (label, analysis) in configurations() {
+            differential_threads(
+                program,
+                analysis,
+                SolverOptions::with_epoch(32).with_balanced_route(true),
+                &[2, 4],
+                &format!("{name}/{label} (parallel, balanced route, epoch=32)"),
             );
         }
     }

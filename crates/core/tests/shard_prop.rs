@@ -21,13 +21,58 @@
 
 use csc_core::{PointsToSet, ShardedTable};
 use proptest::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages: `(target, payload)` pairs; targets dense in `0..TARGETS`.
 const TARGETS: u32 = 12;
 
 fn set_of(elems: &[u32]) -> PointsToSet {
     elems.iter().copied().collect()
+}
+
+/// The commit plane's worker-side interner, modeled: worker `w` of `n`
+/// resolves each key against a round-frozen base table first, then its own
+/// fresh interns, and allocates misses from its pre-reserved id stride —
+/// the `k`-th fresh id is `(owned + k) * n + w`, where `owned` is the
+/// number of dense base ids the worker's shard already holds. Returns the
+/// per-request resolved ids and the allocation-ordered fresh log, exactly
+/// the two artifacts the real worker hands the coordinator.
+fn stride_intern(
+    n: usize,
+    w: usize,
+    base: &BTreeMap<u8, u32>,
+    base_len: u32,
+    keys: &[u8],
+) -> (Vec<u32>, Vec<(u8, u32)>) {
+    let owned = ((base_len as usize).saturating_sub(w)).div_ceil(n);
+    let mut fresh: BTreeMap<u8, u32> = BTreeMap::new();
+    let mut log: Vec<(u8, u32)> = Vec::new();
+    let mut resolved = Vec::with_capacity(keys.len());
+    for &k in keys {
+        let id = if let Some(&id) = base.get(&k) {
+            id
+        } else if let Some(&id) = fresh.get(&k) {
+            id
+        } else {
+            let id = u32::try_from((owned + log.len()) * n + w).unwrap();
+            fresh.insert(k, id);
+            log.push((k, id));
+            id
+        };
+        resolved.push(id);
+    }
+    (resolved, log)
+}
+
+/// A frozen base table: distinct keys at dense ids `0..len`.
+fn base_table(keys: &[u8]) -> (BTreeMap<u8, u32>, u32) {
+    let mut base: BTreeMap<u8, u32> = BTreeMap::new();
+    for &k in keys {
+        let next = u32::try_from(base.len()).unwrap();
+        base.entry(k).or_insert(next);
+    }
+    let len = u32::try_from(base.len()).unwrap();
+    (base, len)
 }
 
 proptest! {
@@ -205,5 +250,123 @@ proptest! {
         let expect: Vec<(u32, Vec<u16>)> =
             flat.iter().map(|(k, v)| (*k, v.clone())).collect();
         prop_assert_eq!(merged, expect);
+    }
+
+    /// Pre-reserved id ranges never collide: for arbitrary (and arbitrarily
+    /// unbalanced) per-worker intern loads over a shared frozen base table,
+    /// every stride-allocated id is self-owned (`id % n == worker`), lands
+    /// strictly past the dense base id space, and is globally unique — no
+    /// atomic, lock, or cross-worker coordination required.
+    #[test]
+    fn stride_id_ranges_never_collide(
+        requests in proptest::collection::vec(
+            proptest::collection::vec(0u8..24, 0..16),
+            1..6,
+        ),
+        base_keys in proptest::collection::vec(0u8..24, 0..10),
+    ) {
+        let n = requests.len();
+        let (base, base_len) = base_table(&base_keys);
+        let mut all_ids: Vec<u32> = Vec::new();
+        for (w, keys) in requests.iter().enumerate() {
+            let (_, log) = stride_intern(n, w, &base, base_len, keys);
+            for &(_, id) in &log {
+                prop_assert_eq!(id as usize % n, w, "fresh id {} not owned by worker {}", id, w);
+                prop_assert!(id >= base_len, "fresh id {} collides with the base id space", id);
+            }
+            all_ids.extend(log.iter().map(|&(_, id)| id));
+        }
+        let distinct: BTreeSet<u32> = all_ids.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), all_ids.len(), "stride ids collided across workers");
+    }
+
+    /// Parallel intern ≡ sequential intern up to canonical renaming: after
+    /// the coordinator's reconciliation (shard-major first occurrence wins,
+    /// later duplicates alias onto it), the parallel id assignment is
+    /// related to the sequential interner's by a *bijection* — same fresh
+    /// key set, and every request resolves to renaming-equivalent ids.
+    /// This is the commit plane's determinism contract at the interning
+    /// layer: internal ids may differ from the sequential engine's, but
+    /// only up to a consistent renaming, so canonically-keyed projections
+    /// come out bit-identical.
+    #[test]
+    fn stride_interning_matches_sequential_up_to_renaming(
+        requests in proptest::collection::vec(
+            proptest::collection::vec(0u8..24, 0..16),
+            1..6,
+        ),
+        base_keys in proptest::collection::vec(0u8..24, 0..10),
+    ) {
+        let n = requests.len();
+        let (base, base_len) = base_table(&base_keys);
+
+        // Parallel: every worker interns independently against the frozen
+        // base; then reconcile the logs in shard-major allocation order.
+        let mut logs: Vec<Vec<(u8, u32)>> = Vec::with_capacity(n);
+        let mut resolved_par: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for (w, keys) in requests.iter().enumerate() {
+            let (resolved, log) = stride_intern(n, w, &base, base_len, keys);
+            resolved_par.push(resolved);
+            logs.push(log);
+        }
+        let mut canon: BTreeMap<u8, u32> = BTreeMap::new();
+        let mut alias: BTreeMap<u32, u32> = BTreeMap::new();
+        for log in &logs {
+            for &(k, id) in log {
+                match canon.get(&k) {
+                    Some(&c) => {
+                        alias.insert(id, c);
+                    }
+                    None => {
+                        canon.insert(k, id);
+                    }
+                }
+            }
+        }
+        // Alias targets are themselves canonical, never chained.
+        for c in alias.values() {
+            prop_assert!(!alias.contains_key(c), "alias chains must not form");
+        }
+
+        // Sequential reference: the same requests in shard-major order
+        // against one dense table.
+        let mut seq_table = base.clone();
+        let mut resolved_seq: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for keys in &requests {
+            let mut resolved = Vec::with_capacity(keys.len());
+            for &k in keys {
+                let next = u32::try_from(seq_table.len()).unwrap();
+                resolved.push(*seq_table.entry(k).or_insert(next));
+            }
+            resolved_seq.push(resolved);
+        }
+
+        // Same fresh key set, one canonical id each.
+        let par_fresh: BTreeSet<u8> = canon.keys().copied().collect();
+        let seq_fresh: BTreeSet<u8> =
+            seq_table.keys().filter(|k| !base.contains_key(k)).copied().collect();
+        prop_assert_eq!(&par_fresh, &seq_fresh, "fresh key sets differ");
+
+        // Request-level equivalence up to renaming: sequential id ↔
+        // canonicalized parallel id must be a consistent bijection that
+        // fixes the shared base ids.
+        let mut rename: BTreeMap<u32, u32> = BTreeMap::new();
+        for (ps, ss) in resolved_par.iter().zip(&resolved_seq) {
+            prop_assert_eq!(ps.len(), ss.len());
+            for (&p, &s) in ps.iter().zip(ss) {
+                let p = alias.get(&p).copied().unwrap_or(p);
+                if s < base_len {
+                    prop_assert_eq!(p, s, "base ids must resolve identically");
+                }
+                match rename.get(&s) {
+                    Some(&prev) => prop_assert_eq!(prev, p, "renaming must be a function"),
+                    None => {
+                        rename.insert(s, p);
+                    }
+                }
+            }
+        }
+        let images: BTreeSet<u32> = rename.values().copied().collect();
+        prop_assert_eq!(images.len(), rename.len(), "renaming must be injective");
     }
 }
