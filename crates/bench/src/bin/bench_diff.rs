@@ -19,12 +19,27 @@
 //! status only: a row that completed in the baseline but times out fresh
 //! is always a failure; a row that was already timed out is skipped.
 //!
-//! Rows are keyed by `(program, analysis, threads)` — a parallel row
-//! (threads ≥ 2 on the sharded engine, whose propagation counts are
-//! deterministic per thread count but differ from the sequential
+//! Rows are keyed by `(program, analysis, threads, engine)` — a parallel
+//! row (threads ≥ 2, whose propagation counts are deterministic per
+//! thread count on the BSP engine but differ from the sequential
 //! engine's) is only ever compared against a baseline row with the same
-//! thread count. Snapshots predating the `threads` field parse as
-//! `threads = 1`.
+//! thread count and engine. Snapshots predating the `threads` field
+//! parse as `threads = 1`; rows predating the `engine` field parse as
+//! `seq` (one thread) or `bsp` (more — the only parallel engine back
+//! then). A baseline row whose engine no longer appears in the fresh
+//! snapshot at the same `(program, analysis, threads)` is skipped with a
+//! note rather than failed: flipping the recorded engine set is a
+//! deliberate harness change, not a perf regression.
+//!
+//! Two comparisons are *warnings*, never failures:
+//!
+//! * wall-clock drift when the two snapshots carry different hardware
+//!   fingerprints (`cpu`/`cores` fields) — cross-machine timings are not
+//!   comparable, while propagation counts still are;
+//! * propagation drift on `engine: async` rows — the work-stealing
+//!   engine's propagation count depends on message-arrival order, so it
+//!   is reproducible in aggregate but not exactly (results stay
+//!   bit-identical; only the operation count wobbles).
 //!
 //! The `parallel_secs` / `coordinator_secs` / `commit_secs` phase split
 //! each row carries is **informational**: it is parsed, carried through,
@@ -85,13 +100,21 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// Row key: `(program, analysis, threads)`.
-type Key = (String, String, u64);
+/// Row key: `(program, analysis, threads, engine)`.
+type Key = (String, String, u64, String);
 
-fn parse(path: &str) -> BTreeMap<Key, Row> {
+/// One parsed snapshot: its rows plus the hardware fingerprint recorded
+/// in them (absent on snapshots predating the `cpu`/`cores` fields).
+struct Snapshot {
+    rows: BTreeMap<Key, Row>,
+    fingerprint: Option<(String, u64)>,
+}
+
+fn parse(path: &str) -> Snapshot {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
     let mut rows = BTreeMap::new();
+    let mut fingerprint = None;
     for line in text.lines() {
         if !line.trim_start().starts_with("{\"program\"") {
             continue;
@@ -101,6 +124,19 @@ fn parse(path: &str) -> BTreeMap<Key, Row> {
         let threads: u64 = field(line, "threads")
             .and_then(|v| v.parse().ok())
             .unwrap_or(1);
+        // Rows predating the engine field: one thread was the sequential
+        // engine, more was the (only) sharded BSP engine.
+        let engine = field(line, "engine")
+            .map(str::to_owned)
+            .unwrap_or_else(|| if threads <= 1 { "seq" } else { "bsp" }.to_owned());
+        if fingerprint.is_none() {
+            if let (Some(cpu), Some(cores)) = (
+                field(line, "cpu"),
+                field(line, "cores").and_then(|v| v.parse::<u64>().ok()),
+            ) {
+                fingerprint = Some((cpu.to_owned(), cores));
+            }
+        }
         let row = Row {
             time_secs: field(line, "time_secs")
                 .and_then(|v| v.parse().ok())
@@ -113,10 +149,10 @@ fn parse(path: &str) -> BTreeMap<Key, Row> {
             coordinator_secs: field(line, "coordinator_secs").and_then(|v| v.parse().ok()),
             commit_secs: field(line, "commit_secs").and_then(|v| v.parse().ok()),
         };
-        rows.insert((program, analysis, threads), row);
+        rows.insert((program, analysis, threads, engine), row);
     }
     assert!(!rows.is_empty(), "no rows parsed from {path}");
-    rows
+    Snapshot { rows, fingerprint }
 }
 
 fn tol(flag_val: Option<f64>, env: &str, default: f64) -> f64 {
@@ -165,12 +201,28 @@ fn main() -> ExitCode {
 
     let baseline = parse(baseline_path);
     let fresh = parse(fresh_path);
+    // Wall-clock is only gated when both snapshots come from the same
+    // hardware; otherwise (or when either predates the fingerprint
+    // fields) time regressions print as warnings and never fail the run.
+    let same_hardware = match (&baseline.fingerprint, &fresh.fingerprint) {
+        (Some(b), Some(f)) => b == f,
+        _ => false,
+    };
+    if !same_hardware {
+        eprintln!(
+            "bench_diff: hardware fingerprints differ or are missing \
+             (baseline {:?}, fresh {:?}); wall-clock drift downgraded to warnings",
+            baseline.fingerprint, fresh.fingerprint
+        );
+    }
     let mut failures = 0usize;
+    let mut warnings = 0usize;
     println!(
-        "{:<11} {:<9} {:>3} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7} {:>7}",
+        "{:<11} {:<9} {:>3} {:<5} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7} {:>7}",
         "Program",
         "Analysis",
         "Thr",
+        "Eng",
         "base-time",
         "fresh-time",
         "Δtime%",
@@ -180,18 +232,41 @@ fn main() -> ExitCode {
         "coord%",
         "commit%"
     );
-    for ((program, analysis, threads), base) in &baseline {
-        let Some(new) = fresh.get(&(program.clone(), analysis.clone(), *threads)) else {
-            println!("{program:<11} {analysis:<9} {threads:>3} MISSING from fresh snapshot");
-            failures += 1;
+    for ((program, analysis, threads, engine), base) in &baseline.rows {
+        let key = (program.clone(), analysis.clone(), *threads, engine.clone());
+        let Some(new) = fresh.rows.get(&key) else {
+            // The same configuration recorded under a different engine
+            // means the harness's engine set changed (e.g. dual-engine
+            // par rows replacing bsp-only ones) — note it, don't fail.
+            let engine_switched = fresh
+                .rows
+                .keys()
+                .any(|(p, a, t, _)| p == program && a == analysis && t == threads);
+            if engine_switched {
+                println!(
+                    "{program:<11} {analysis:<9} {threads:>3} {engine:<5} skipped \
+                     (engine set changed in fresh snapshot)"
+                );
+            } else {
+                println!(
+                    "{program:<11} {analysis:<9} {threads:>3} {engine:<5} \
+                     MISSING from fresh snapshot"
+                );
+                failures += 1;
+            }
             continue;
         };
         if !base.completed {
-            println!("{program:<11} {analysis:<9} {threads:>3} skipped (baseline timed out)");
+            println!(
+                "{program:<11} {analysis:<9} {threads:>3} {engine:<5} skipped \
+                 (baseline timed out)"
+            );
             continue;
         }
         if !new.completed {
-            println!("{program:<11} {analysis:<9} {threads:>3} REGRESSION: now times out");
+            println!(
+                "{program:<11} {analysis:<9} {threads:>3} {engine:<5} REGRESSION: now times out"
+            );
             failures += 1;
             continue;
         }
@@ -199,8 +274,18 @@ fn main() -> ExitCode {
         let dp = (new.propagations as f64 - base.propagations as f64)
             / (base.propagations as f64).max(1.0)
             * 100.0;
-        let time_bad = dt > time_tol;
-        let prop_bad = dp > prop_tol;
+        // Async propagation counts are schedule-dependent (results are
+        // not) — drift there warns instead of failing.
+        let (mut time_bad, mut prop_bad) = (dt > time_tol, dp > prop_tol);
+        let (mut time_warn, mut prop_warn) = (false, false);
+        if time_bad && !same_hardware {
+            time_bad = false;
+            time_warn = true;
+        }
+        if prop_bad && engine == "async" {
+            prop_bad = false;
+            prop_warn = true;
+        }
         // Informational only — the phase split never trips a tolerance.
         let coord = new
             .coord_share()
@@ -210,31 +295,38 @@ fn main() -> ExitCode {
             .commit_share()
             .map(|s| format!("{:>6.1}%", s * 100.0))
             .unwrap_or_else(|| format!("{:>7}", "-"));
-        println!(
-            "{program:<11} {analysis:<9} {threads:>3} {:>11.3}s {:>11.3}s {:>8.1}% {:>14} {:>14} \
-             {:>8.1}% {coord} {commit}{}",
-            base.time_secs,
-            new.time_secs,
-            dt,
-            base.propagations,
-            new.propagations,
-            dp,
-            match (time_bad, prop_bad) {
+        let mut note = String::new();
+        if time_bad || prop_bad {
+            note.push_str(match (time_bad, prop_bad) {
                 (true, true) => "  <- TIME+PROP REGRESSION",
                 (true, false) => "  <- TIME REGRESSION",
-                (false, true) => "  <- PROP REGRESSION",
-                (false, false) => "",
-            }
+                _ => "  <- PROP REGRESSION",
+            });
+        }
+        if time_warn {
+            note.push_str("  (time drift: WARNING, hardware differs)");
+        }
+        if prop_warn {
+            note.push_str("  (prop drift: WARNING, async schedule-dependent)");
+        }
+        println!(
+            "{program:<11} {analysis:<9} {threads:>3} {engine:<5} {:>11.3}s {:>11.3}s {:>8.1}% \
+             {:>14} {:>14} {:>8.1}% {coord} {commit}{note}",
+            base.time_secs, new.time_secs, dt, base.propagations, new.propagations, dp,
         );
         failures += usize::from(time_bad) + usize::from(prop_bad);
+        warnings += usize::from(time_warn) + usize::from(prop_warn);
     }
-    for key in fresh.keys() {
-        if !baseline.contains_key(key) {
+    for key in fresh.rows.keys() {
+        if !baseline.rows.contains_key(key) {
             println!(
-                "{:<11} {:<9} {:>3} new row (no baseline)",
-                key.0, key.1, key.2
+                "{:<11} {:<9} {:>3} {:<5} new row (no baseline)",
+                key.0, key.1, key.2, key.3
             );
         }
+    }
+    if warnings > 0 {
+        eprintln!("bench_diff: {warnings} warning(s) (not gated)");
     }
     if failures > 0 {
         eprintln!(

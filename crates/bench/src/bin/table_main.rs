@@ -11,18 +11,34 @@
 //! 10⁵+-statement `xl` program, and `CSC_PAR_ROWS=N` (N ≥ 2) re-runs
 //! 2obj on the three slowest programs (columba, soot, gruntspud) with N
 //! worker threads, recording the thread-scaling rows next to their
-//! sequential counterparts.
+//! sequential counterparts. When `CSC_ENGINE` is unset the parallel rows
+//! are recorded for *both* engines (async and bsp) so the snapshot tracks
+//! them side by side; pin `CSC_ENGINE` to record just one.
 
 use std::fmt::Write as _;
 
 use csc_bench::{analyses, budget_label, fmt_time, run_row, run_row_opts, Row};
-use csc_core::Analysis;
+use csc_core::{Analysis, Engine, SolverOptions};
 
 /// The programs whose 2obj rows dominate suite wall-clock; `CSC_PAR_ROWS`
 /// re-measures exactly these with a parallel engine.
 const PAR_ROW_PROGRAMS: [&str; 3] = ["columba", "soot", "gruntspud"];
 
-fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
+/// Snapshot label for the engine a row ran on: `seq` below two threads
+/// (neither parallel engine engages), else the resolved engine name.
+/// `bench_diff` keys rows by it so async and bsp rows never collide.
+fn engine_label(opts: &SolverOptions) -> &'static str {
+    if opts.resolved_threads() <= 1 {
+        "seq"
+    } else {
+        match opts.resolved_engine() {
+            Engine::Async => "async",
+            Engine::Bsp => "bsp",
+        }
+    }
+}
+
+fn json_row(out: &mut String, program: &str, row: &Row<'_>, engine: &str, cpu: &str, cores: u64) {
     let stats = &row.outcome.result.state.stats;
     // `stats.threads` is the *resolved* worker count (never the raw
     // `CSC_THREADS=0` auto value) — bench_diff keys rows by it, and a
@@ -31,11 +47,13 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
     let _ = write!(
         out,
         "    {{\"program\": \"{program}\", \"analysis\": \"{}\", \"threads\": {}, \
+         \"engine\": \"{engine}\", \
          \"time_secs\": {:.6}, \"completed\": {}, \
          \"parallel_secs\": {:.6}, \"coordinator_secs\": {:.6}, \
          \"commit_secs\": {:.6}, \
          \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}, \
-         \"scc_runs\": {}, \"sccs_collapsed\": {}, \"ptrs_collapsed\": {}",
+         \"scc_runs\": {}, \"sccs_collapsed\": {}, \"ptrs_collapsed\": {}, \
+         \"pause_count\": {}, \"steal_count\": {}",
         row.label,
         stats.threads,
         row.outcome.total_time.as_secs_f64(),
@@ -49,6 +67,8 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
         stats.scc_runs,
         stats.sccs_collapsed,
         stats.ptrs_collapsed,
+        stats.pause_count,
+        stats.steal_count,
     );
     if let Some(m) = &row.metrics {
         let _ = write!(
@@ -58,13 +78,14 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>) {
             m.fail_casts, m.reach_methods, m.poly_calls, m.call_edges
         );
     }
+    let _ = write!(out, ", \"cpu\": \"{cpu}\", \"cores\": {cores}");
     out.push('}');
 }
 
-fn print_row(program: &str, row: &Row<'_>) {
+fn print_row(program: &str, row: &Row<'_>, engine: &str) {
     let threads = row.outcome.result.state.stats.threads;
     let label = if threads > 1 {
-        format!("{}({}t)", row.label, threads)
+        format!("{}({}t,{engine})", row.label, threads)
     } else {
         row.label.to_owned()
     };
@@ -98,6 +119,7 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    let (cpu, cores) = csc_bench::hardware_fingerprint();
     let mut json_rows: Vec<String> = Vec::new();
     println!(
         "{:<11} {:<9} {:>8} {:>10} {:>11} {:>11} {:>11}",
@@ -111,26 +133,40 @@ fn main() {
             }
         }
         let program = csc_workloads::compiled(bench.name).expect("suite benchmark compiles");
+        let base_engine = engine_label(&csc_bench::solver_options());
         for analysis in analyses() {
             let row = run_row(program, analysis);
-            print_row(bench.name, &row);
+            print_row(bench.name, &row, base_engine);
             let mut buf = String::new();
-            json_row(&mut buf, bench.name, &row);
+            json_row(&mut buf, bench.name, &row, base_engine, &cpu, cores);
             json_rows.push(buf);
         }
         // Thread-scaling rows: re-run the dominating 2obj rows on the
-        // sharded parallel engine so the snapshot records the speedup.
-        // Skipped when the base options already run at this thread count —
-        // the suite loop produced that row, and a duplicate
-        // (program, analysis, threads) key would shadow it in bench_diff.
+        // parallel engines so the snapshot records the speedup. With
+        // `CSC_ENGINE` unset both engines get a row (async next to bsp);
+        // pinning the variable records just that engine. Skipped when the
+        // base options already run at this thread count — the suite loop
+        // produced that row, and a duplicate
+        // (program, analysis, threads, engine) key would shadow it in
+        // bench_diff.
         let base_threads = csc_bench::solver_options().resolved_threads();
         if par_rows >= 2 && par_rows != base_threads && PAR_ROW_PROGRAMS.contains(&bench.name) {
-            let opts = csc_bench::solver_options().with_threads(par_rows);
-            let row = run_row_opts(program, Analysis::KObj(2), opts);
-            print_row(bench.name, &row);
-            let mut buf = String::new();
-            json_row(&mut buf, bench.name, &row);
-            json_rows.push(buf);
+            let engines: Vec<Engine> = if std::env::var("CSC_ENGINE").is_ok() {
+                vec![csc_bench::solver_options().resolved_engine()]
+            } else {
+                vec![Engine::Async, Engine::Bsp]
+            };
+            for engine in engines {
+                let opts = csc_bench::solver_options()
+                    .with_threads(par_rows)
+                    .with_engine(engine);
+                let label = engine_label(&opts);
+                let row = run_row_opts(program, Analysis::KObj(2), opts);
+                print_row(bench.name, &row, label);
+                let mut buf = String::new();
+                json_row(&mut buf, bench.name, &row, label, &cpu, cores);
+                json_rows.push(buf);
+            }
         }
         println!("{}", "-".repeat(78));
     }

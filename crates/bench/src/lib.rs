@@ -110,6 +110,34 @@ pub fn bench_programs() -> Vec<csc_workloads::Benchmark> {
     benches
 }
 
+/// A fingerprint of the machine the bench ran on: `(cpu model, core
+/// count)`. The model string comes from `/proc/cpuinfo`'s first
+/// `model name` line (the architecture name as a fallback off Linux),
+/// sanitized so it can be embedded in the hand-rolled JSON rows; cores
+/// are the available parallelism. `bench_diff` compares fingerprints
+/// between snapshots and downgrades wall-clock regressions to warnings
+/// when they differ — cross-machine timings are not comparable, while
+/// propagation counts still are.
+pub fn hardware_fingerprint() -> (String, u64) {
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            info.lines().find_map(|l| {
+                let (key, val) = l.split_once(':')?;
+                (key.trim() == "model name").then(|| val.trim().to_owned())
+            })
+        })
+        .unwrap_or_else(|| std::env::consts::ARCH.to_owned());
+    let model: String = model
+        .chars()
+        .filter(|c| !matches!(c, '"' | '\\' | ','))
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    (model, cores)
+}
+
 /// Formats a duration the way the paper's tables do (seconds with one
 /// decimal for >1s, milliseconds below).
 pub fn fmt_time(d: Duration) -> String {

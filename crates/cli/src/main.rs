@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! csc analyze <file.mj> [--analysis ci|2obj|2type|2cs|zipper|csc|csc-doop|csc-hybrid]
-//!                       [--budget <secs>] [--threads <n>] [--pt <Class.method.var>] [--metrics]
+//!                       [--budget <secs>] [--threads <n>] [--engine async|bsp]
+//!                       [--pt <Class.method.var>] [--metrics]
 //! csc dump-ir <file.mj>
 //! csc run     <file.mj>            # concrete execution + trace summary
 //! csc bench   <name>               # analyze a built-in suite benchmark
@@ -11,21 +12,23 @@
 //!
 //! `--threads` selects the propagation engine: `1` runs the sequential
 //! solver, `0` (the default, also via `CSC_THREADS`) resolves to the
-//! machine's available parallelism, and `n >= 2` runs the sharded
-//! parallel engine with `n` workers. Projected results are identical for
-//! every thread count.
+//! machine's available parallelism, and `n >= 2` runs a parallel engine
+//! with `n` workers — the async work-stealing engine by default,
+//! `--engine bsp` (or `CSC_ENGINE=bsp`) for the bulk-synchronous rounds.
+//! Projected results are identical for every thread count and engine.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use csc_core::{run_analysis_opts, Analysis, Budget, PrecisionMetrics, SolverOptions};
+use csc_core::{run_analysis_opts, Analysis, Budget, Engine, PrecisionMetrics, SolverOptions};
 use csc_interp::{execute, InterpConfig};
 use csc_ir::Program;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  csc analyze <file.mj> [--analysis ci|2obj|2type|2cs|zipper|csc|csc-doop|csc-hybrid] \
-         [--budget <secs>] [--threads <n>] [--pt <Class.method.var>] [--metrics]\n  csc dump-ir <file.mj>\n  \
+         [--budget <secs>] [--threads <n>] [--engine async|bsp] [--pt <Class.method.var>] \
+         [--metrics]\n  csc dump-ir <file.mj>\n  \
          csc run <file.mj>\n  csc bench <name> [--analysis ...]\n  csc suite"
     );
     ExitCode::from(2)
@@ -55,11 +58,15 @@ fn analyze(
     analysis: Analysis,
     budget: Budget,
     threads: usize,
+    engine_choice: Option<Engine>,
     pt_query: Option<&str>,
     metrics: bool,
 ) {
     let label = analysis.label().to_owned();
-    let opts = SolverOptions::default().with_threads(threads);
+    let mut opts = SolverOptions::default().with_threads(threads);
+    if let Some(e) = engine_choice {
+        opts = opts.with_engine(e);
+    }
     let outcome = run_analysis_opts(program, analysis, budget, opts);
     if !outcome.completed() {
         println!("{label}: budget exhausted after {:?}", outcome.total_time);
@@ -75,10 +82,20 @@ fn analyze(
         } else {
             0.0
         };
-        format!(
-            "{} threads, {} rounds, {:.0}% coordinator",
-            stats.threads, stats.parallel_rounds, coord_share
-        )
+        if stats.pause_count > 0 {
+            // The async engine pauses (quiescence points) instead of
+            // running fixed rounds; steals are batch migrations between
+            // shard owners.
+            format!(
+                "{} threads, {} pauses, {} steals, {:.0}% coordinator",
+                stats.threads, stats.pause_count, stats.steal_count, coord_share
+            )
+        } else {
+            format!(
+                "{} threads, {} rounds, {:.0}% coordinator",
+                stats.threads, stats.parallel_rounds, coord_share
+            )
+        }
     } else {
         "sequential".to_owned()
     };
@@ -166,6 +183,9 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    // Parallel engine: `--engine` wins; unset defers to `CSC_ENGINE`
+    // (then the async default) inside the solver.
+    let mut engine_choice: Option<Engine> = None;
     let mut pt_query: Option<String> = None;
     let mut metrics = false;
     let mut positional: Vec<String> = Vec::new();
@@ -177,6 +197,17 @@ fn main() -> ExitCode {
                 match v.parse::<usize>() {
                     Ok(n) => threads = n,
                     Err(_) => return usage(),
+                }
+            }
+            "--engine" => {
+                let Some(v) = it.next() else { return usage() };
+                match v.as_str() {
+                    "async" => engine_choice = Some(Engine::Async),
+                    "bsp" => engine_choice = Some(Engine::Bsp),
+                    other => {
+                        eprintln!("unknown engine `{other}` (expected async|bsp)");
+                        return usage();
+                    }
                 }
             }
             "--analysis" => {
@@ -217,6 +248,7 @@ fn main() -> ExitCode {
                         analysis,
                         budget,
                         threads,
+                        engine_choice,
                         pt_query.as_deref(),
                         metrics,
                     );
@@ -281,6 +313,7 @@ fn main() -> ExitCode {
                         analysis,
                         budget,
                         threads,
+                        engine_choice,
                         pt_query.as_deref(),
                         metrics,
                     );

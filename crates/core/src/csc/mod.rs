@@ -805,10 +805,12 @@ impl Plugin for CutShortcut {
     /// The read-only half of [`CutShortcut::on_points_to`]: grounded
     /// `[ShortcutStore]` / `[ShortcutLoad]` obligation lookups and the
     /// `[ColHost]` / `[MapHost]` classification, emitted as reactions. On
-    /// the parallel engine this runs on the shard workers against the
-    /// round-frozen tables; obligations registered later replay the full
-    /// current points-to set at registration time, so no reaction is lost
-    /// to the round boundary.
+    /// the parallel engines this runs on the shard workers against
+    /// phase-frozen tables — frozen for one BSP round, or for one entire
+    /// async work-stealing phase (many drained deltas between two pause
+    /// points). Obligations registered later replay the full current
+    /// points-to set at registration time, so no reaction is lost to a
+    /// round or pause boundary, however long the frozen window was.
     fn discover(
         &self,
         ptr: PtrId,

@@ -54,6 +54,7 @@ pub mod zipper;
 mod analyses;
 mod pool;
 mod shard;
+mod steal;
 
 pub use analyses::{run_analysis, run_analysis_opts, Analysis, AnalysisOutcome};
 pub use clients::PrecisionMetrics;
@@ -65,8 +66,9 @@ pub use csc::{pattern_methods, CscConfig, CscStats, CutShortcut};
 pub use pts::PointsToSet;
 pub use scc::OnlineScc;
 pub use solver::{
-    Budget, CsObjId, DiscoverCtx, EdgeKind, Event, NoPlugin, Plugin, PtaResult, PtrId, PtrKey,
-    Reaction, ShortcutKind, SolveStatus, Solver, SolverOptions, SolverState, SolverStats,
+    Budget, CsObjId, DiscoverCtx, EdgeKind, Engine, Event, NoPlugin, Plugin, PtaResult, PtrId,
+    PtrKey, Reaction, ShortcutKind, SolveStatus, Solver, SolverOptions, SolverState, SolverStats,
 };
+pub use steal::Quiesce;
 pub use table::{ShardKey, ShardedTable};
 pub use zipper::ZipperE;

@@ -1,52 +1,93 @@
-//! A persistent, parked worker pool for the parallel propagation engine.
+//! A persistent, parked worker pool for the parallel propagation engines.
 //!
 //! The PR-4 engine spawned one `std::thread::scope` *per round*. That is
 //! correct but pays a thread spawn + join per worker per round, and
 //! event-driven solves (Cut-Shortcut especially) execute thousands of tiny
 //! rounds. This pool spawns each worker **once per solve**: the workers
-//! park on a blocking `recv` between rounds, the coordinator hands them
-//! one [`RoundJob`] per round, and they report `(shard, result)` back on a
-//! shared channel.
+//! park on a blocking `recv` between dispatches, the coordinator hands
+//! them one [`Job`] per dispatch — a bulk-synchronous [`RoundJob`] or an
+//! async [`StealJob`] phase — and they report back on a shared channel.
 //!
 //! ## Ownership protocol (why this is safe Rust)
 //!
 //! Rust cannot express "these borrows are frozen only while the round
 //! runs" through a channel whose type outlives the round, so nothing is
-//! borrowed across the channel at all. Per round the coordinator *moves*:
+//! borrowed across the channel at all. Per dispatch the coordinator
+//! *moves*:
 //!
-//! * the round-shared read-only state into one [`RoundShared`] behind an
+//! * the phase-shared read-only state into one [`RoundShared`] behind an
 //!   `Arc` (a handful of `Vec` headers plus the plugin — no element is
 //!   copied), cloned into every job;
-//! * each worker's [`Shard`] (owned mutable state) into its job.
+//! * each worker's [`Shard`] (owned mutable state) into its job — directly
+//!   for BSP rounds, behind the steal plane's [`ShardCell`] mutexes for
+//!   async phases (ownership there is dynamic: whoever holds a cell's
+//!   lock owns that shard until it unlocks).
 //!
-//! Workers drop their `Arc` clone *before* reporting, so after the
-//! coordinator has collected all results the `Arc` is unique again and
+//! Workers drop their `Arc` clones *before* reporting, so after the
+//! coordinator has collected all results the `Arc`s are unique again and
 //! `Arc::try_unwrap` returns the state for the coordinator phase to
-//! mutate. The per-round cost is one small allocation and a few pointer
+//! mutate. The per-dispatch cost is a few small allocations and pointer
 //! moves — versus a spawn/join pair per worker per round before.
 //!
 //! A worker panic is caught, reported as a poisoned result, and re-raised
-//! on the coordinator (and, through the scope, at the solve call site);
-//! the channel protocol inside `run_worker` guarantees peers unblock (a
-//! dropped outbox sender surfaces as a recv error, not a deadlock).
+//! on the coordinator (and, through the scope, at the solve call site).
+//! In a BSP round the channel protocol inside `run_worker` guarantees
+//! peers unblock (a dropped outbox sender surfaces as a recv error, not a
+//! deadlock); in an async phase the dying worker marks itself permanently
+//! idle with the abort flag set, which is exactly the escape condition
+//! [`AsyncCtrl::wait_quiescent`] waits for.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::{Scope, ScopedJoinHandle};
 
-use crate::shard::{run_worker, RoundJob, Shard, WorkerResult};
+use crate::shard::{run_worker, RoundJob, RoundShared, Shard, WorkerResult};
 use crate::solver::Plugin;
+use crate::steal::{run_async_worker, AsyncCtrl, BufPool, Msg, ShardCell};
 
-/// One worker's report: its index, and `None` when the round panicked.
-type Report = (usize, Option<(Shard, WorkerResult)>);
+/// One dispatch to a pooled worker: a bulk-synchronous round or an async
+/// work-stealing phase. The round variant is boxed — it carries seven
+/// channel endpoints plus the shard — so the enum stays small on the
+/// channel.
+pub(crate) enum Job<'p, P> {
+    Round(Box<RoundJob<'p, P>>),
+    Steal(StealJob<'p, P>),
+}
+
+/// One async phase's input to a pooled worker: the frozen shared state,
+/// the phase control plane, and the steal plane's shard cells — all
+/// `Arc`-shared across the workers (ownership of individual shards is
+/// dynamic, through the cell mutexes).
+pub(crate) struct StealJob<'p, P> {
+    pub(crate) shared: Arc<RoundShared<'p, P>>,
+    pub(crate) ctrl: Arc<AsyncCtrl>,
+    pub(crate) cells: Arc<Vec<ShardCell>>,
+}
+
+/// What one worker hands back: BSP rounds return the shard and its
+/// result (boxed — the pair dwarfs the dataless steal variant); async
+/// phases return nothing (the coordinator reclaims state from the
+/// cells) — the report is purely the "I have exited the phase and
+/// dropped my `Arc`s" signal.
+enum Outcome {
+    Round(Box<(Shard, WorkerResult)>),
+    Steal,
+}
+
+/// One worker's report: its index, and `None` when the dispatch panicked.
+type Report = (usize, Option<Outcome>);
 
 /// The pool: per-worker job senders plus the shared report channel. Lives
 /// inside a [`std::thread::scope`] that spans the whole parallel solve;
 /// dropping it (or unwinding out of the scope body) closes the job
 /// channels, which is each parked worker's shutdown signal.
 pub(crate) struct WorkerPool<'scope, 'p, P> {
-    job_txs: Vec<Sender<RoundJob<'p, P>>>,
+    job_txs: Vec<Sender<Job<'p, P>>>,
     report_rx: Receiver<Report>,
+    /// The packet-buffer freelist shared by both engines' outbox lanes
+    /// (and sized by whichever ran last); solve-scoped, like the pool.
+    bufs: Arc<BufPool<Msg>>,
     _handles: Vec<ScopedJoinHandle<'scope, ()>>,
 }
 
@@ -54,38 +95,77 @@ impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p
     /// Spawns `n` parked workers into `scope`.
     pub(crate) fn start<'env>(scope: &'scope Scope<'scope, 'env>, n: usize) -> Self {
         let (report_tx, report_rx) = channel::<Report>();
+        let bufs: Arc<BufPool<Msg>> = Arc::new(BufPool::new());
         let mut job_txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for me in 0..n {
-            let (tx, rx) = channel::<RoundJob<'p, P>>();
+            let (tx, rx) = channel::<Job<'p, P>>();
             let report_tx = report_tx.clone();
             handles.push(scope.spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    let RoundJob {
-                        shared,
-                        mut shard,
-                        batch,
-                        txs,
-                        rx: inbox,
-                        etxs,
-                        erx,
-                    } = job;
-                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        run_worker(me, &shared, &mut shard, batch, txs, inbox, etxs, erx)
-                    }));
-                    // Release the round state *before* reporting: the
-                    // coordinator reclaims the Arc's contents as soon as
-                    // every report is in.
-                    drop(shared);
-                    match outcome {
-                        Ok(result) => {
-                            if report_tx.send((me, Some((shard, result)))).is_err() {
-                                break;
+                    match job {
+                        Job::Round(job) => {
+                            let RoundJob {
+                                shared,
+                                mut shard,
+                                batch,
+                                txs,
+                                rx: inbox,
+                                etxs,
+                                erx,
+                                bufs,
+                            } = *job;
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                run_worker(
+                                    me, &shared, &mut shard, batch, txs, inbox, etxs, erx, &bufs,
+                                )
+                            }));
+                            // Release the round state *before* reporting:
+                            // the coordinator reclaims the Arc's contents
+                            // as soon as every report is in.
+                            drop(shared);
+                            match outcome {
+                                Ok(result) => {
+                                    let outcome = Outcome::Round(Box::new((shard, result)));
+                                    if report_tx.send((me, Some(outcome))).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(payload) => {
+                                    let _ = report_tx.send((me, None));
+                                    std::panic::resume_unwind(payload);
+                                }
                             }
                         }
-                        Err(payload) => {
-                            let _ = report_tx.send((me, None));
-                            std::panic::resume_unwind(payload);
+                        Job::Steal(StealJob {
+                            shared,
+                            ctrl,
+                            cells,
+                        }) => {
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                run_async_worker(me, &shared, &ctrl, &cells);
+                            }));
+                            if outcome.is_err() {
+                                // Park this worker's idle slot forever with
+                                // the abort flag up, so the coordinator's
+                                // quiescence wait can still complete.
+                                ctrl.mark_dead();
+                            }
+                            drop(cells);
+                            drop(shared);
+                            match outcome {
+                                Ok(()) => {
+                                    drop(ctrl);
+                                    if report_tx.send((me, Some(Outcome::Steal))).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(payload) => {
+                                    drop(ctrl);
+                                    let _ = report_tx.send((me, None));
+                                    std::panic::resume_unwind(payload);
+                                }
+                            }
                         }
                     }
                 }
@@ -95,12 +175,19 @@ impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p
         WorkerPool {
             job_txs,
             report_rx,
+            bufs,
             _handles: handles,
         }
     }
 
-    /// Runs one round: sends `jobs[i]` to worker `i`, blocks until every
-    /// worker reports, and returns the results ordered by shard index.
+    /// The pool's shared packet-buffer freelist.
+    pub(crate) fn bufs(&self) -> Arc<BufPool<Msg>> {
+        Arc::clone(&self.bufs)
+    }
+
+    /// Runs one BSP round: sends `jobs[i]` to worker `i`, blocks until
+    /// every worker reports, and returns the results ordered by shard
+    /// index.
     ///
     /// # Panics
     ///
@@ -110,16 +197,49 @@ impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p
         let n = jobs.len();
         debug_assert_eq!(n, self.job_txs.len());
         for (tx, job) in self.job_txs.iter().zip(jobs) {
-            tx.send(job).expect("propagation worker died");
+            tx.send(Job::Round(Box::new(job)))
+                .expect("propagation worker died");
         }
         let mut slots: Vec<Option<(Shard, WorkerResult)>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (me, outcome) = self.report_rx.recv().expect("propagation worker died");
-            slots[me] = outcome;
+            slots[me] = match outcome {
+                Some(Outcome::Round(pair)) => Some(*pair),
+                Some(Outcome::Steal) => unreachable!("steal report for a round job"),
+                None => None,
+            };
         }
         slots
             .into_iter()
             .map(|s| s.expect("propagation worker panicked"))
             .collect()
+    }
+
+    /// Runs one async work-stealing phase: dispatches `jobs`, waits for
+    /// quiescence (or an abort with every worker parked), ends the phase,
+    /// and collects every worker's exit report so the coordinator can
+    /// safely reclaim the shared state and the shard cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker died during the phase (after all reports are
+    /// in).
+    pub(crate) fn steal_phase(&self, jobs: Vec<StealJob<'p, P>>, ctrl: &AsyncCtrl) {
+        let n = jobs.len();
+        debug_assert_eq!(n, self.job_txs.len());
+        for (tx, job) in self.job_txs.iter().zip(jobs) {
+            tx.send(Job::Steal(job)).expect("propagation worker died");
+        }
+        ctrl.wait_quiescent(n);
+        ctrl.finish();
+        let mut ok = vec![false; n];
+        for _ in 0..n {
+            let (me, outcome) = self.report_rx.recv().expect("propagation worker died");
+            ok[me] = matches!(outcome, Some(Outcome::Steal));
+        }
+        assert!(
+            ok.into_iter().all(|b| b),
+            "propagation worker panicked during async phase"
+        );
     }
 }

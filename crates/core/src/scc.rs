@@ -28,6 +28,22 @@
 /// Sentinel for "not yet visited" / "no component".
 const UNVISITED: u32 = u32::MAX;
 
+/// The adaptive condensation-epoch threshold: how many unfiltered copy
+/// edges must accumulate, given `edges` PFG edges committed so far,
+/// before the next epoch pays for itself. Geometric — the next epoch
+/// waits for the edge count to grow by a constant fraction — so total
+/// condensation work stays `O((V + E) log E)` however large the graph
+/// gets.
+///
+/// This is a pure function of committed-edge volume, *not* of the
+/// propagation schedule: the sequential engine, the bulk-synchronous
+/// rounds, and the async work-stealing engine (whose "rounds" do not
+/// exist) all trigger epochs from the same accumulated-edge counter at
+/// their own coordinator-side quiescent points.
+pub fn epoch_threshold(edges: u64) -> u32 {
+    u32::try_from((edges / 2).max(4096)).unwrap_or(u32::MAX)
+}
+
 /// The result of [`condense`]: a component id per node, ids dense in
 /// `0..num_comps`, assigned in reverse topological order of the
 /// condensation (every edge goes from a higher to a lower component id,

@@ -569,6 +569,10 @@ pub(crate) struct RoundJob<'p, P> {
     /// commit plane is on).
     pub(crate) etxs: Vec<Sender<EdgePacket>>,
     pub(crate) erx: Receiver<EdgePacket>,
+    /// The worker pool's shared packet freelist: outbox message vectors
+    /// are drawn from and returned to it, so steady-state rounds allocate
+    /// nothing on the delta path.
+    pub(crate) bufs: Arc<crate::steal::BufPool<(u32, Arc<PointsToSet>)>>,
 }
 
 /// One committed delta with its worker-derived packets:
@@ -622,7 +626,7 @@ pub(crate) struct WorkerResult {
 /// exactly as it would uncollapsed. Emits packets in the deterministic
 /// order the coordinator commits them: per member (ascending,
 /// representative first) — loads, stores, calls, then plugin reactions.
-fn discover_fan_out<P: Plugin>(
+pub(crate) fn discover_fan_out<P: Plugin>(
     shared: &RoundShared<'_, P>,
     rep: u32,
     delta: &PointsToSet,
@@ -873,6 +877,7 @@ pub(crate) fn run_worker<P: Plugin>(
     rx: Receiver<Packet>,
     etxs: Vec<Sender<EdgePacket>>,
     erx: Receiver<EdgePacket>,
+    bufs: &crate::steal::BufPool<(u32, Arc<PointsToSet>)>,
 ) -> WorkerResult {
     let nshards = shared.nshards;
     // Pre-round geometry for this round's fresh stride allocations: the
@@ -884,7 +889,7 @@ pub(crate) fn run_worker<P: Plugin>(
     // Sub-phase 1: propagate. Union incoming deltas into the owned
     // points-to sets; route genuinely new elements to the successors'
     // owning shards.
-    let mut out: Vec<Vec<(u32, Arc<PointsToSet>)>> = vec![Vec::new(); nshards as usize];
+    let mut out: Vec<Vec<(u32, Arc<PointsToSet>)>> = (0..nshards).map(|_| bufs.get()).collect();
     let mut stmt: Vec<DeltaCommit> = Vec::with_capacity(batch.len());
     let mut propagations = 0u64;
     let mut timed_out = false;
@@ -993,8 +998,8 @@ pub(crate) fn run_worker<P: Plugin>(
         .collect();
     packets.sort_unstable_by_key(|&(src, _)| src);
     let mut newly_queued: Vec<PtrId> = Vec::new();
-    for (_, msgs) in packets {
-        for (trep, payload) in msgs {
+    for (_, mut msgs) in packets {
+        for (trep, payload) in msgs.drain(..) {
             debug_assert_eq!(shared.shard_of(trep), me as u32);
             let slot = &mut shard.pending[shared.local_of(trep)];
             let was_empty = slot.is_empty();
@@ -1003,6 +1008,7 @@ pub(crate) fn run_worker<P: Plugin>(
                 newly_queued.push(PtrId(trep));
             }
         }
+        bufs.put(msgs);
     }
     // Sub-phase 4 (commit plane only): edge commit. Receive one edge
     // packet from every shard (the second barrier), sort by source shard

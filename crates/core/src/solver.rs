@@ -408,6 +408,33 @@ pub struct SolverStats {
     /// and event delivery) — the slice of the coordinator the sharded
     /// commit plane exists to shrink. Always 0 on the sequential engine.
     pub commit_secs: f64,
+    /// Async engine: work-stealing propagation phases dispatched — each is
+    /// one coordinated pause (quiescence wait + commit), the async
+    /// engine's analogue of a round barrier. Always 0 on the sequential
+    /// and BSP engines; compare against `parallel_rounds` on the same
+    /// workload to see the barrier eliminations.
+    pub pause_count: u64,
+    /// Async engine: successful steal batches (a worker drained part of a
+    /// loaded peer shard's worklist). Schedule-dependent by nature.
+    pub steal_count: u64,
+}
+
+/// Which multi-threaded propagation engine a solve runs
+/// ([`SolverOptions::engine`]); irrelevant when `threads == 1`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The async work-stealing loop (the default): workers own their
+    /// shards' worklists, exchange deltas without round boundaries, steal
+    /// from loaded peers when dry, and pause only for coordinator-side
+    /// structural work (quiescence-detected). Deterministic in *results*
+    /// (projections and precision metrics bit-identical to the sequential
+    /// engine), not in schedule (per-run propagation counts vary as
+    /// deltas coalesce differently).
+    Async,
+    /// The bulk-synchronous engine: barriered rounds with a deterministic
+    /// coordinator pass between them; propagation counts are reproducible
+    /// per thread count.
+    Bsp,
 }
 
 /// Engine tuning knobs, independent of the analysis policy (context
@@ -449,6 +476,23 @@ pub struct SolverOptions {
     /// on, anything else — including unset, the `mod` default — = off);
     /// tests pass explicit values. Ignored when `threads == 1`.
     pub balanced_route: Option<bool>,
+    /// Multi-threaded propagation engine. `None` (the default) reads the
+    /// `CSC_ENGINE` environment variable at solve start (`bsp` = the
+    /// bulk-synchronous engine, anything else — including unset — = the
+    /// async work-stealing engine); tests pass explicit values. Ignored
+    /// when `threads == 1`.
+    pub engine: Option<Engine>,
+    /// BSP engine only: adaptive round fusion. When on, the inline-round
+    /// threshold (below which a drained batch is processed sequentially
+    /// instead of dispatched to the pool) grows with the observed round
+    /// size — streaks of tiny event-driven rounds fuse into the
+    /// coordinator instead of paying pool dispatch, and a large wave
+    /// front snaps the threshold back. Deterministic (driven purely by
+    /// batch sizes, which are deterministic per thread count on the BSP
+    /// engine). `None` (the default) reads the `CSC_ROUND_FUSION`
+    /// environment variable (`1`/`on` = on; unset = off, preserving the
+    /// fixed `32 × threads` heuristic byte-for-byte).
+    pub round_fusion: Option<bool>,
 }
 
 impl Default for SolverOptions {
@@ -459,6 +503,8 @@ impl Default for SolverOptions {
             threads: 1,
             par_commit: None,
             balanced_route: None,
+            engine: None,
+            round_fusion: None,
         }
     }
 }
@@ -517,6 +563,44 @@ impl SolverOptions {
     pub fn resolved_balanced_route(&self) -> bool {
         self.balanced_route
             .unwrap_or_else(|| std::env::var("CSC_SHARD_ROUTE").is_ok_and(|v| v == "balanced"))
+    }
+
+    /// The same options with an explicit propagation engine (bypasses the
+    /// `CSC_ENGINE` environment fallback).
+    pub fn with_engine(self, engine: Engine) -> Self {
+        SolverOptions {
+            engine: Some(engine),
+            ..self
+        }
+    }
+
+    /// The multi-threaded engine these options resolve to (environment
+    /// fallback resolved; async is the default).
+    pub fn resolved_engine(&self) -> Engine {
+        self.engine.unwrap_or_else(|| {
+            if std::env::var("CSC_ENGINE").is_ok_and(|v| v == "bsp") {
+                Engine::Bsp
+            } else {
+                Engine::Async
+            }
+        })
+    }
+
+    /// The same options with BSP round fusion explicitly on or off
+    /// (bypasses the `CSC_ROUND_FUSION` environment fallback).
+    pub fn with_round_fusion(self, on: bool) -> Self {
+        SolverOptions {
+            round_fusion: Some(on),
+            ..self
+        }
+    }
+
+    /// Whether adaptive BSP round fusion is enabled for these options
+    /// (environment fallback resolved; off is the default).
+    pub fn resolved_round_fusion(&self) -> bool {
+        self.round_fusion.unwrap_or_else(|| {
+            std::env::var("CSC_ROUND_FUSION").is_ok_and(|v| v == "1" || v == "on")
+        })
     }
 
     /// The worker-thread count these options resolve to on this machine.
@@ -585,6 +669,19 @@ pub struct SolverState<'p> {
     /// Resolved topology-aware routing switch (parallel engine only; see
     /// [`SolverOptions::balanced_route`]).
     balanced_route: bool,
+    /// Resolved engine switch: `true` runs the async work-stealing loop
+    /// for multi-threaded phases (see [`SolverOptions::engine`]).
+    async_engine: bool,
+    /// Resolved adaptive round-fusion switch (BSP engine only; see
+    /// [`SolverOptions::round_fusion`]).
+    round_fusion: bool,
+    /// Adaptive inline-round threshold: batches smaller than this are
+    /// processed sequentially by the coordinator. Fixed at
+    /// `32 × nthreads` unless `round_fusion` is on.
+    inline_cap: usize,
+    /// Consecutive inline rounds under round fusion (the growth
+    /// hysteresis counter).
+    fused_streak: u32,
     /// Observed union cost per slot id (elements committed into the slot's
     /// set), tracked only under `balanced_route`: the seed for the greedy
     /// shard-rebalance pass at condensation epochs. Grown lazily; merged
@@ -643,6 +740,10 @@ impl<'p> SolverState<'p> {
             copy_edges_since_collapse: 0,
             par_commit: nthreads > 1 && opts.resolved_par_commit(),
             balanced_route: nthreads > 1 && opts.resolved_balanced_route(),
+            async_engine: nthreads > 1 && opts.resolved_engine() == Engine::Async,
+            round_fusion: nthreads > 1 && opts.resolved_round_fusion(),
+            inline_cap: 32 * nthreads,
+            fused_streak: 0,
             route_cost: Vec::new(),
             opts,
             nthreads,
@@ -1226,7 +1327,7 @@ impl<'p> SolverState<'p> {
         let threshold = self
             .opts
             .collapse_epoch
-            .unwrap_or_else(|| (self.stats.edges as u32 / 2).max(4096));
+            .unwrap_or_else(|| crate::scc::epoch_threshold(self.stats.edges));
         self.copy_edges_since_collapse >= threshold
     }
 
@@ -1468,6 +1569,45 @@ impl<'p> SolverState<'p> {
     /// epochs stay single-threaded between rounds, which is what keeps
     /// runs deterministic for a fixed thread count.
     ///
+    /// Whether a drained batch of `len` representatives should be
+    /// processed inline on the coordinator instead of dispatched to the
+    /// worker pool.
+    ///
+    /// Without round fusion this is the fixed `32 × threads` heuristic of
+    /// the PR-4 engine, byte-for-byte. With `CSC_ROUND_FUSION=1` the
+    /// threshold adapts to the observed round-size regime: a streak of
+    /// eight consecutive inline rounds doubles it (event-driven solves
+    /// drip-feed thousands of tiny rounds — fusing them amortizes pool
+    /// dispatch), a dispatched round re-anchors it at twice that round's
+    /// size (capped at `2048 × threads`), and a wave-front round at least
+    /// four times over the threshold snaps it back to the base so the
+    /// heavy phase parallelizes immediately. Driven purely by batch
+    /// lengths, which are deterministic per thread count on the BSP
+    /// engine, so fusion never costs reproducibility.
+    fn inline_round(&mut self, len: usize) -> bool {
+        let base = 32 * self.nthreads;
+        if !self.round_fusion {
+            return len < base;
+        }
+        let cap_max = 2048 * self.nthreads;
+        if len < self.inline_cap {
+            self.fused_streak += 1;
+            if self.fused_streak >= 8 {
+                self.fused_streak = 0;
+                self.inline_cap = (self.inline_cap * 2).min(cap_max);
+            }
+            true
+        } else {
+            self.fused_streak = 0;
+            self.inline_cap = if len >= self.inline_cap * 4 {
+                base
+            } else {
+                (len * 2).min(cap_max)
+            };
+            false
+        }
+    }
+
     /// Returns `false` when the budget was exhausted.
     fn parallel_round<'scope, S, P>(
         &mut self,
@@ -1499,7 +1639,7 @@ impl<'p> SolverState<'p> {
         // overhead would dominate wall-clock. The threshold is
         // deterministic, so runs stay reproducible; the wave-front rounds
         // that carry the real union work exceed it by orders of magnitude.
-        if batch.len() < 32 * n {
+        if self.inline_round(batch.len()) {
             let p = plugin.as_ref().expect("plugin present between rounds");
             for (rep, incoming) in batch {
                 if !self.step(selector, p, PtrId(rep), incoming) {
@@ -1562,6 +1702,7 @@ impl<'p> SolverState<'p> {
                 rx,
                 etxs: etxs.clone(),
                 erx,
+                bufs: pool.bufs(),
             });
         }
         drop(txs);
@@ -1641,6 +1782,210 @@ impl<'p> SolverState<'p> {
                 for (ptr, delta, end) in stmts {
                     // The outbox clones were merged and dropped in the
                     // workers' merge sub-phase, so this unwraps copy-free.
+                    let delta = std::sync::Arc::unwrap_or_clone(delta);
+                    if self.balanced_route {
+                        self.bump_route_cost(ptr.0, delta.len() as u64);
+                    }
+                    let count = (end - start) as usize;
+                    start = end;
+                    self.commit_derived(
+                        selector,
+                        p,
+                        ptr,
+                        &delta,
+                        packets.by_ref().take(count),
+                        discovery,
+                    );
+                }
+            }
+            true
+        };
+        self.stats.commit_secs += commit_start.elapsed().as_secs_f64();
+        ok
+    }
+
+    /// One async work-stealing propagation phase (`CSC_ENGINE=async`, the
+    /// default multi-threaded engine; see `crate::steal`).
+    ///
+    /// Where [`SolverState::parallel_round`] pays a barrier plus a
+    /// sequential coordinator pass per round, this drains the *entire*
+    /// reachable worklist in one continuously-running phase: the
+    /// coordinator seeds each shard's worklist, dispatches the pool into
+    /// the steal plane, and waits on the quiescence detector — one
+    /// coordinated *pause* (counted in `pause_count`) per structural
+    /// phase, however many propagation "rounds" the fixpoint would have
+    /// taken. The phase logs (committed deltas, derived packets) are then
+    /// committed exactly like a round's, so call-graph growth, context
+    /// selection, plugin `apply`, and SCC epochs stay coordinator-side.
+    ///
+    /// The phase runs with the commit plane off (`commit: None`): edge
+    /// growth happens at the pause point, where the statement fan-out of
+    /// the *whole* phase commits in one pass — the async engine removes
+    /// round barriers, not the discover/commit split.
+    ///
+    /// Returns `false` when the budget was exhausted.
+    fn async_phase<'scope, S, P>(
+        &mut self,
+        selector: &S,
+        plugin: &mut Option<P>,
+        pool: &crate::pool::WorkerPool<'scope, 'p, P>,
+    ) -> bool
+    where
+        S: ContextSelector,
+        P: Plugin + Send + Sync + 'scope,
+        'p: 'scope,
+    {
+        let n = self.nthreads;
+        // Drain the queue in order, canonicalizing stale entries exactly
+        // like the sequential pop does.
+        let mut batch: Vec<(u32, PointsToSet)> = Vec::with_capacity(self.queue.len());
+        while let Some(ptr) = self.queue.pop_front() {
+            let rep = self.reps.find(ptr.0);
+            let incoming = self.slots.take_pending(rep);
+            if incoming.is_empty() {
+                continue; // duplicate queue entry; already drained
+            }
+            batch.push((rep, incoming));
+        }
+
+        // Small batches run inline on the coordinator, exactly like the
+        // BSP engine's small rounds: event-driven solves drip-feed a
+        // handful of pointers per event, where a pool dispatch (let alone
+        // a quiescence-detected phase) would dominate.
+        if batch.len() < 32 * n {
+            let p = plugin.as_ref().expect("plugin present between rounds");
+            for (rep, incoming) in batch {
+                if !self.step(selector, p, PtrId(rep), incoming) {
+                    return false;
+                }
+            }
+            return true;
+        }
+
+        self.stats.pause_count += 1;
+        // Seed the shard worklists: restore each drained delta into its
+        // pending accumulator (batch representatives are distinct, so
+        // each seed carries exactly one unit of outstanding work).
+        let mut seeds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut seeded = 0u64;
+        for (rep, incoming) in batch {
+            let s = self.slots.shard_of(rep);
+            self.slots.put_pending(rep, incoming);
+            seeds[s].push(rep);
+            seeded += 1;
+        }
+
+        // Freeze the phase-shared state (same ownership protocol as the
+        // BSP round; see `crate::pool`).
+        let discovery = plugin
+            .as_ref()
+            .expect("plugin present between rounds")
+            .parallel_discovery();
+        let shared = std::sync::Arc::new(crate::shard::RoundShared {
+            reps: std::mem::take(&mut self.reps),
+            members: std::mem::take(&mut self.members),
+            ptr_keys: std::mem::take(&mut self.ptr_keys),
+            obj_keys: std::mem::take(&mut self.obj_keys),
+            stmts: std::mem::take(&mut self.stmts),
+            program: self.program,
+            plugin: plugin.take().expect("plugin present between rounds"),
+            discovery,
+            nshards: n as u32,
+            deadline: self.budget.time.map(|limit| self.started + limit),
+            commit: None,
+            route: self.slots.route.take(),
+        });
+        let prop_limit = self
+            .budget
+            .max_propagations
+            .map(|m| m.saturating_sub(self.stats.propagations));
+        let ctrl = std::sync::Arc::new(crate::steal::AsyncCtrl::new(n, prop_limit, pool.bufs()));
+        ctrl.seed_work(seeded);
+        let cells: Vec<crate::steal::ShardCell> = seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, seed)| {
+                crate::steal::ShardCell::new(std::mem::take(&mut self.slots.shards[i]), seed)
+            })
+            .collect();
+        let cells = std::sync::Arc::new(cells);
+        let jobs: Vec<crate::pool::StealJob<'p, P>> = (0..n)
+            .map(|_| crate::pool::StealJob {
+                shared: std::sync::Arc::clone(&shared),
+                ctrl: std::sync::Arc::clone(&ctrl),
+                cells: std::sync::Arc::clone(&cells),
+            })
+            .collect();
+
+        // Parallel phase: the workers propagate to quiescence (or abort);
+        // the coordinator only waits on the detector.
+        let par_start = Instant::now();
+        pool.steal_phase(jobs, &ctrl);
+        self.stats.parallel_secs += par_start.elapsed().as_secs_f64();
+
+        // Reclaim the frozen state: every worker dropped its Arcs before
+        // reporting, so both are unique again.
+        let Ok(shared) = std::sync::Arc::try_unwrap(shared) else {
+            unreachable!("phase state still shared after quiescence")
+        };
+        self.reps = shared.reps;
+        self.members = shared.members;
+        self.ptr_keys = shared.ptr_keys;
+        self.obj_keys = shared.obj_keys;
+        self.stmts = shared.stmts;
+        self.slots.route = shared.route;
+        *plugin = Some(shared.plugin);
+        let Ok(cells) = std::sync::Arc::try_unwrap(cells) else {
+            unreachable!("shard cells still shared after quiescence")
+        };
+
+        // Coordinator pause: restore the shards, collect the phase logs,
+        // and (on abort) requeue whatever the workers left behind so the
+        // partial state stays consistent.
+        let aborted = ctrl.was_aborted();
+        self.stats.steal_count += ctrl.steal_count();
+        let mut stmt_groups: Vec<(Vec<crate::shard::DeltaCommit>, Vec<crate::shard::Derived>)> =
+            Vec::with_capacity(n);
+        for (i, cell) in cells.into_iter().enumerate() {
+            let sh = cell.into_inner();
+            self.slots.shards[i] = sh.shard;
+            self.stats.propagations += sh.propagations;
+            // Leftover worklist entries exist only on abort; their pending
+            // accumulators are still populated, so requeueing the ids
+            // restores the sequential worklist invariant.
+            self.queue.extend(sh.queue.into_iter().map(PtrId));
+            stmt_groups.push((sh.stmt, sh.derived));
+        }
+        // Undelivered inbox messages (abort only) re-enter through the
+        // normal enqueue path.
+        for (trep, payload) in ctrl.drain_leftovers() {
+            self.enqueue(PtrId(trep), &payload);
+        }
+
+        // Commit section: replay the phase's derived packets in (shard,
+        // processing order) — dropped wholesale on abort, like a round's.
+        let commit_start = Instant::now();
+        let ok = 'commit: {
+            if aborted {
+                break 'commit false;
+            }
+            if let Some(max) = self.budget.max_propagations {
+                if self.stats.propagations > max {
+                    break 'commit false;
+                }
+            }
+            if let Some(limit) = self.budget.time {
+                if self.started.elapsed() > limit {
+                    break 'commit false;
+                }
+            }
+            let p = plugin.as_mut().expect("plugin restored after the phase");
+            for (stmts, derived) in stmt_groups {
+                let mut packets = derived.into_iter();
+                let mut start = 0u32;
+                for (ptr, delta, end) in stmts {
+                    // Every inbox clone of the delta was merged and
+                    // dropped during the phase, so this unwraps copy-free.
                     let delta = std::sync::Arc::unwrap_or_clone(delta);
                     if self.balanced_route {
                         self.bump_route_cost(ptr.0, delta.len() as u64);
@@ -2007,7 +2352,12 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
                         state.collapse_cycles(&selector, p);
                     }
                     if !state.queue.is_empty() {
-                        if !state.parallel_round(&selector, &mut slot, &pool) {
+                        let ok = if state.async_engine {
+                            state.async_phase(&selector, &mut slot, &pool)
+                        } else {
+                            state.parallel_round(&selector, &mut slot, &pool)
+                        };
+                        if !ok {
                             break SolveStatus::Timeout;
                         }
                     } else if let Some(ev) = state.events.pop_front() {

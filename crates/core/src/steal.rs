@@ -1,0 +1,731 @@
+//! The async work-stealing propagation engine (`CSC_ENGINE=async`, the
+//! default for multi-threaded solves).
+//!
+//! Where the bulk-synchronous engine (`shard.rs`) pays a full barrier plus
+//! a sequential coordinator pass per round, this engine runs one
+//! *continuous* propagation loop per worker: each worker owns its shard's
+//! worklist (a deque of pending representatives), processes deltas as they
+//! arrive, pushes cross-shard deltas through pooled outbox lanes the
+//! moment a flush interval elapses, and — when its own queue drains —
+//! *steals* a batch from the most loaded peer shard. Coordinator-only
+//! operations (statement fan-out commits, call-graph merges, context
+//! selection, SCC condensation epochs, plugin `apply`) happen at *pause
+//! points*: the coordinator waits on a quiescence detector and only then
+//! reclaims the shards, so the barrier tax is paid once per structural
+//! phase instead of once per round.
+//!
+//! **Steal protocol.** Every shard lives in a [`ShardCell`]: the shard
+//! state plus its worklist behind one mutex, with a lock-free queue-length
+//! gauge for victim selection. The owner takes its cell with a blocking
+//! lock; a thief only ever `try_lock`s, so the lock doubles as the steal
+//! epoch — whoever holds it owns the shard's entire state (points-to rows,
+//! pending accumulators, queue, logs) for the duration, and a contended
+//! steal simply fails over to another victim instead of waiting. At most
+//! one shard lock is ever held per thread, and inbox locks are only taken
+//! while holding a shard lock (never the reverse), so the lock order is
+//! acyclic by construction.
+//!
+//! **Quiescence detection.** Termination uses a distributed
+//! work-counting scheme in the Dijkstra–Safra family, compressed to one
+//! shared counter pair ([`Quiesce`]): every unit of work (a queued
+//! representative, an in-flight delta message) is counted *before* it
+//! becomes visible, and uncounted *after* it is fully processed —
+//! including after every message it spawned has itself been counted. The
+//! phase is over exactly when every worker is parked and the outstanding
+//! count is zero; because decrements always trail the increments they
+//! caused, the counter can over-approximate but never under-approximate
+//! pending work, so the detector cannot terminate the phase early (see
+//! the proptest harness in `tests/quiesce_prop.rs`).
+//!
+//! **Determinism contract.** The async engine is deterministic in
+//! *results*, not schedule: deltas coalesce in the pending accumulators in
+//! arrival order, so per-run propagation counts and log orders vary, but
+//! the fixpoint is a monotone set union whose final state — and therefore
+//! every projection and precision metric — is schedule-independent and
+//! bit-identical to the sequential engine's (enforced by the differential
+//! harness). The bulk-synchronous engine remains available via
+//! `CSC_ENGINE=bsp` for strict per-thread-count reproducibility.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
+use std::time::Duration;
+
+use crate::pts::PointsToSet;
+use crate::shard::{discover_fan_out, DeltaCommit, Derived, RoundShared, Shard};
+use crate::solver::{Plugin, PtrId};
+
+/// One cross-shard delta message: `(destination representative, delta)`.
+pub(crate) type Msg = (u32, Arc<PointsToSet>);
+
+/// A batch of delta messages travelling through one outbox lane; recycled
+/// through the engine's [`BufPool`].
+pub(crate) type MsgBatch = Vec<Msg>;
+
+/// Representatives processed between outbox flushes (and abort checks).
+const BATCH: usize = 64;
+/// Minimum victim queue length worth stealing from.
+const STEAL_MIN: usize = 2;
+/// Maximum representatives processed per steal before re-checking the
+/// thief's own shard.
+const STEAL_BATCH: usize = 128;
+/// Idle park granularity: parked workers re-poll for steal opportunities
+/// (and the coordinator re-polls quiescence) at this interval, bounding
+/// the cost of a lost wakeup without any unsafe signalling.
+const PARK_POLL: Duration = Duration::from_micros(500);
+
+/// Locks a mutex, treating poisoning (a peer worker panicked) as
+/// recoverable: the panic is re-raised by the worker pool's report
+/// protocol, so the state behind the lock is only read for teardown.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The quiescence detector for the async propagation loop: a
+/// Dijkstra–Safra-style termination counter compressed to one shared
+/// outstanding-work count plus an idle-worker gauge.
+///
+/// Protocol (the engine's side of the contract):
+///
+/// 1. a unit of work is counted with [`Quiesce::add_work`] *before* it
+///    becomes visible to any consumer (queue push, inbox send);
+/// 2. a unit is uncounted with [`Quiesce::finish_work`] only after it has
+///    been fully processed *and* every unit it spawned has been counted
+///    (workers flush their outboxes before flushing their batched
+///    decrements);
+/// 3. a worker enters the idle set only with an empty queue, empty
+///    outboxes, and no pending decrements.
+///
+/// Under 1–3, `outstanding == 0 && idle == workers` implies no work
+/// exists anywhere in the system — and because decrements are batched,
+/// the counter may transiently *over*-state pending work but can never
+/// under-state it, so [`Quiesce::is_quiescent`] has no false positives.
+pub struct Quiesce {
+    workers: usize,
+    outstanding: AtomicI64,
+    idle: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Quiesce {
+    /// Creates a detector for `workers` propagation workers, with no
+    /// outstanding work and every worker considered active.
+    pub fn new(workers: usize) -> Self {
+        Quiesce {
+            workers,
+            outstanding: AtomicI64::new(0),
+            idle: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Counts `n` fresh units of work. Must run *before* the units become
+    /// visible to any consumer.
+    pub fn add_work(&self, n: u64) {
+        if n > 0 {
+            self.outstanding.fetch_add(
+                i64::try_from(n).expect("work count fits i64"),
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Uncounts `n` fully-processed units. Decrements may be batched and
+    /// delayed arbitrarily — the detector only over-counts in the
+    /// meantime — but each must run *after* the work its unit spawned has
+    /// been counted.
+    pub fn finish_work(&self, n: u64) {
+        if n > 0 {
+            self.outstanding.fetch_sub(
+                i64::try_from(n).expect("work count fits i64"),
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Marks the calling worker idle. Callers uphold protocol rule 3: no
+    /// local work, no unflushed outboxes, no pending decrements.
+    pub fn enter_idle(&self) {
+        let prev = self.idle.fetch_add(1, Ordering::SeqCst);
+        if prev + 1 == self.workers {
+            // Taking the lock orders the notification after a concurrent
+            // waiter's predicate check, so the last worker to park cannot
+            // slip a wakeup past `wait_until`.
+            let _g = lock_ok(&self.lock);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks the calling worker active again.
+    pub fn leave_idle(&self) {
+        self.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Number of currently idle workers.
+    pub fn idle_workers(&self) -> usize {
+        self.idle.load(Ordering::SeqCst)
+    }
+
+    /// Whether the system is quiescent: every worker idle and no
+    /// outstanding work. Once true with all workers parked, no worker can
+    /// create new work (creating work requires holding a counted unit), so
+    /// the observation is stable.
+    pub fn is_quiescent(&self) -> bool {
+        self.idle.load(Ordering::SeqCst) == self.workers
+            && self.outstanding.load(Ordering::SeqCst) == 0
+    }
+
+    /// Blocks until `pred` holds, waking on idle-set notifications and on
+    /// a poll interval as a lost-wakeup backstop.
+    pub(crate) fn wait_until(&self, pred: impl Fn() -> bool) {
+        let mut g = lock_ok(&self.lock);
+        loop {
+            if pred() {
+                return;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+    }
+}
+
+/// A freelist of reusable vectors: the async delta path (and the BSP
+/// engine's outbox lanes) recycle their per-shard packet buffers through
+/// one pool per worker pool, so steady-state propagation allocates
+/// nothing on the message path.
+pub(crate) struct BufPool<T> {
+    free: Mutex<Vec<Vec<T>>>,
+}
+
+/// Retained-buffer cap: beyond this the freelist drops returned buffers
+/// instead of growing without bound.
+const POOL_CAP: usize = 1024;
+
+impl<T> BufPool<T> {
+    pub(crate) fn new() -> Self {
+        BufPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a recycled (empty) buffer, or allocates a fresh one.
+    pub(crate) fn get(&self) -> Vec<T> {
+        lock_ok(&self.free).pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool, clearing it (capacity retained).
+    pub(crate) fn put(&self, mut buf: Vec<T>) {
+        buf.clear();
+        let mut free = lock_ok(&self.free);
+        if free.len() < POOL_CAP {
+            free.push(buf);
+        }
+    }
+}
+
+/// One shard's complete async-phase state: the shard storage plus the
+/// worker-owned worklist and the phase-accumulated logs the coordinator
+/// commits at the pause point.
+pub(crate) struct AsyncShard {
+    /// The slot storage (points-to sets, pending accumulators, successor
+    /// rows) exactly as the BSP engine owns it.
+    pub(crate) shard: Shard,
+    /// Pending representatives, each holding exactly one counted unit of
+    /// outstanding work.
+    pub(crate) queue: VecDeque<u32>,
+    /// Committed deltas in processing order, with exclusive packet-range
+    /// ends into `derived` (same layout as [`crate::shard::WorkerResult`]).
+    pub(crate) stmt: Vec<DeltaCommit>,
+    /// Phase-accumulated derived packets (fan-out replay, call
+    /// resolutions, plugin reactions).
+    pub(crate) derived: Vec<Derived>,
+    /// Worklist propagations with a non-empty delta.
+    pub(crate) propagations: u64,
+}
+
+/// A shard slot in the steal plane: the state behind the owner/thief
+/// mutex, plus a lock-free queue-length gauge thieves scan for victim
+/// selection (advisory — the lock is the truth).
+pub(crate) struct ShardCell {
+    slot: Mutex<AsyncShard>,
+    qlen: AtomicUsize,
+}
+
+impl ShardCell {
+    /// Wraps a shard and its seed worklist (each seed carries one counted
+    /// unit of work; the coordinator counts them via
+    /// [`AsyncCtrl::seed_work`] before the workers start).
+    pub(crate) fn new(shard: Shard, seed: Vec<u32>) -> Self {
+        let qlen = seed.len();
+        ShardCell {
+            slot: Mutex::new(AsyncShard {
+                shard,
+                queue: seed.into(),
+                stmt: Vec::new(),
+                derived: Vec::new(),
+                propagations: 0,
+            }),
+            qlen: AtomicUsize::new(qlen),
+        }
+    }
+
+    /// Reclaims the shard state after the phase (workers have exited).
+    pub(crate) fn into_inner(self) -> AsyncShard {
+        self.slot.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One shard's delta inbox: batches of cross-shard messages, plus a
+/// condvar the owner parks on.
+struct Inbox {
+    msgs: Mutex<Vec<MsgBatch>>,
+    cv: Condvar,
+}
+
+/// The control plane of one async propagation phase: quiescence detector,
+/// per-shard inboxes, abort/done flags, and the phase counters.
+pub(crate) struct AsyncCtrl {
+    /// The termination detector (public so the coordinator can wait on
+    /// it; workers drive it through the worker loop).
+    pub(crate) quiesce: Quiesce,
+    inboxes: Vec<Inbox>,
+    /// Budget blown (wall-clock or propagation cap) or a worker died:
+    /// workers stop taking work and park until the coordinator ends the
+    /// phase.
+    aborted: AtomicBool,
+    /// Phase over: set by the coordinator once quiescent (or aborted with
+    /// all workers parked); workers exit their loops.
+    done: AtomicBool,
+    steals: AtomicU64,
+    /// Phase-global propagation count, used only to enforce
+    /// `max_propagations` promptly (per-shard exact counts are merged by
+    /// the coordinator afterwards).
+    props: AtomicU64,
+    prop_limit: u64,
+    bufs: Arc<BufPool<Msg>>,
+}
+
+impl AsyncCtrl {
+    /// Creates the control plane for `n` workers. `prop_limit` is the
+    /// remaining propagation budget (`None` = unlimited); `bufs` is the
+    /// worker pool's shared packet freelist.
+    pub(crate) fn new(n: usize, prop_limit: Option<u64>, bufs: Arc<BufPool<Msg>>) -> Self {
+        AsyncCtrl {
+            quiesce: Quiesce::new(n),
+            inboxes: (0..n)
+                .map(|_| Inbox {
+                    msgs: Mutex::new(Vec::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            aborted: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            props: AtomicU64::new(0),
+            prop_limit: prop_limit.unwrap_or(u64::MAX),
+            bufs,
+        }
+    }
+
+    /// Counts the coordinator's seed worklist entries before the workers
+    /// start.
+    pub(crate) fn seed_work(&self, n: u64) {
+        self.quiesce.add_work(n);
+    }
+
+    /// Successful steals this phase.
+    pub(crate) fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::SeqCst)
+    }
+
+    /// Whether the phase aborted (budget blown or a worker died).
+    pub(crate) fn was_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Blocks the coordinator until the phase is quiescent — or, after an
+    /// abort, until every worker has parked (outstanding work never drains
+    /// on abort; parked-everywhere is the stable state instead).
+    pub(crate) fn wait_quiescent(&self, workers: usize) {
+        self.quiesce.wait_until(|| {
+            self.quiesce.is_quiescent()
+                || (self.aborted.load(Ordering::SeqCst) && self.quiesce.idle_workers() == workers)
+        });
+    }
+
+    /// Ends the phase: sets `done` and wakes every parked worker.
+    pub(crate) fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        for inbox in &self.inboxes {
+            // Lock-then-notify so a worker between its predicate check and
+            // its condvar wait cannot miss the wakeup.
+            let _g = lock_ok(&inbox.msgs);
+            inbox.cv.notify_all();
+        }
+    }
+
+    /// Drains every undelivered inbox message after an aborted phase so
+    /// the coordinator can restore them to the sequential worklist.
+    pub(crate) fn drain_leftovers(&self) -> Vec<Msg> {
+        let mut left = Vec::new();
+        for inbox in &self.inboxes {
+            let batches = std::mem::take(&mut *lock_ok(&inbox.msgs));
+            for mut batch in batches {
+                left.append(&mut batch);
+                self.bufs.put(batch);
+            }
+        }
+        left
+    }
+
+    /// Marks the calling worker permanently dead (panicked): aborts the
+    /// phase and parks the worker's idle slot forever so
+    /// [`AsyncCtrl::wait_quiescent`]'s abort escape can still fire.
+    pub(crate) fn mark_dead(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        self.quiesce.enter_idle();
+    }
+
+    /// Folds `n` fresh propagations into the phase-global count; trips the
+    /// abort flag when the budget is blown.
+    fn note_props(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let total = self.props.fetch_add(n, Ordering::SeqCst) + n;
+        if total > self.prop_limit {
+            self.aborted.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The continuous propagation loop of one async worker: drain the owned
+/// shard, steal from the most loaded peer when dry, park when the whole
+/// plane looks idle. Runs until the coordinator ends the phase.
+pub(crate) fn run_async_worker<P: Plugin>(
+    me: usize,
+    shared: &RoundShared<'_, P>,
+    ctrl: &AsyncCtrl,
+    cells: &[ShardCell],
+) {
+    let n = cells.len();
+    let mut out: Vec<MsgBatch> = (0..n).map(|_| ctrl.bufs.get()).collect();
+    loop {
+        if ctrl.done.load(Ordering::SeqCst) {
+            break;
+        }
+        if !ctrl.aborted.load(Ordering::SeqCst) {
+            if work_shard(me, me, shared, ctrl, cells, &mut out, usize::MAX) > 0 {
+                continue;
+            }
+            if try_steal(me, shared, ctrl, cells, &mut out) {
+                continue;
+            }
+        }
+        park(me, ctrl);
+    }
+    for buf in out {
+        ctrl.bufs.put(buf);
+    }
+}
+
+/// Drains shard `victim`'s worklist (up to `limit` representatives) as
+/// worker `me`. The owner blocks on the cell lock; a thief `try_lock`s and
+/// backs off on contention. Returns the number of representatives
+/// processed.
+///
+/// Counting discipline: outbox flushes (which *count* spawned work) always
+/// run before the batched [`Quiesce::finish_work`] decrement of the units
+/// that spawned it, so the detector never under-counts.
+fn work_shard<P: Plugin>(
+    me: usize,
+    victim: usize,
+    shared: &RoundShared<'_, P>,
+    ctrl: &AsyncCtrl,
+    cells: &[ShardCell],
+    out: &mut [MsgBatch],
+    limit: usize,
+) -> usize {
+    let cell = &cells[victim];
+    let mut guard = if victim == me {
+        lock_ok(&cell.slot)
+    } else {
+        match cell.slot.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => return 0,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    };
+    let sh = &mut *guard;
+    let mut processed = 0usize;
+    let mut done_units = 0u64;
+    let mut props_mark = sh.propagations;
+    loop {
+        done_units += drain_inbox(victim, shared, ctrl, sh, cell);
+        let Some(rep) = sh.queue.pop_front() else {
+            break;
+        };
+        cell.qlen.fetch_sub(1, Ordering::SeqCst);
+        done_units += process_rep(rep, victim, shared, ctrl, sh, cell, out);
+        processed += 1;
+        if processed >= limit {
+            break;
+        }
+        if processed.is_multiple_of(BATCH) {
+            flush_out(ctrl, out);
+            ctrl.quiesce.finish_work(done_units);
+            done_units = 0;
+            ctrl.note_props(sh.propagations - props_mark);
+            props_mark = sh.propagations;
+            if let Some(d) = shared.deadline {
+                if std::time::Instant::now() > d {
+                    ctrl.aborted.store(true, Ordering::SeqCst);
+                }
+            }
+            if ctrl.aborted.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+    }
+    ctrl.note_props(sh.propagations - props_mark);
+    drop(guard);
+    flush_out(ctrl, out);
+    ctrl.quiesce.finish_work(done_units);
+    processed
+}
+
+/// Processes one queued representative of shard `s`: takes its pending
+/// accumulator, unions it into the owned points-to set, routes the
+/// genuinely new elements to successors (self-shard directly into
+/// pending, cross-shard through the outbox), and replays fan-out
+/// discovery into the shard's phase logs. Returns the finished work units
+/// (always 1 — the unit the queue entry carried).
+fn process_rep<P: Plugin>(
+    rep: u32,
+    s: usize,
+    shared: &RoundShared<'_, P>,
+    ctrl: &AsyncCtrl,
+    sh: &mut AsyncShard,
+    cell: &ShardCell,
+    out: &mut [MsgBatch],
+) -> u64 {
+    debug_assert_eq!(shared.shard_of(rep), s as u32);
+    let local = shared.local_of(rep);
+    let incoming = std::mem::take(&mut sh.shard.pending[local]);
+    if incoming.is_empty() {
+        return 1;
+    }
+    let Some(delta) = sh.shard.pts[local].union_delta(&incoming) else {
+        return 1;
+    };
+    sh.propagations += 1;
+    let delta = Arc::new(delta);
+    for &(t, filter) in &sh.shard.succ[local] {
+        // Stored targets may be stale (merged away); canonicalize like the
+        // sequential engine's enqueue does.
+        let trep = shared.reps.find(t.0);
+        if trep == rep {
+            continue;
+        }
+        let payload = match filter {
+            None => Arc::clone(&delta),
+            Some(class) => Arc::new(crate::shard::filter_pts(
+                &delta,
+                class,
+                &shared.obj_keys,
+                shared.program,
+            )),
+        };
+        if payload.is_empty() {
+            continue;
+        }
+        let dest = shared.shard_of(trep) as usize;
+        if dest == s {
+            // Self-shard delivery: union straight into the owned pending
+            // row — no message, no inbox round-trip.
+            let dl = shared.local_of(trep);
+            let slot = &mut sh.shard.pending[dl];
+            let was_empty = slot.is_empty();
+            slot.union_with(&payload);
+            if was_empty {
+                ctrl.quiesce.add_work(1);
+                sh.queue.push_back(trep);
+                cell.qlen.fetch_add(1, Ordering::SeqCst);
+            }
+        } else {
+            out[dest].push((trep, payload));
+        }
+    }
+    discover_fan_out(shared, rep, &delta, &mut sh.derived);
+    let end = u32::try_from(sh.derived.len()).expect("packet count fits u32");
+    sh.stmt.push((PtrId(rep), delta, end));
+    1
+}
+
+/// Merges shard `s`'s undelivered inbox batches into its pending
+/// accumulators. A message landing on an already-queued representative
+/// coalesces — its work unit is finished (returned for the caller's
+/// batched decrement); a message waking an empty accumulator transfers
+/// its unit to the new queue entry (no counter traffic at all).
+fn drain_inbox<P: Plugin>(
+    s: usize,
+    shared: &RoundShared<'_, P>,
+    ctrl: &AsyncCtrl,
+    sh: &mut AsyncShard,
+    cell: &ShardCell,
+) -> u64 {
+    let batches = {
+        let mut msgs = lock_ok(&ctrl.inboxes[s].msgs);
+        if msgs.is_empty() {
+            return 0;
+        }
+        std::mem::take(&mut *msgs)
+    };
+    let mut coalesced = 0u64;
+    for mut batch in batches {
+        for (trep, payload) in batch.drain(..) {
+            debug_assert_eq!(shared.shard_of(trep), s as u32);
+            let slot = &mut sh.shard.pending[shared.local_of(trep)];
+            let was_empty = slot.is_empty();
+            slot.union_with(&payload);
+            if was_empty {
+                sh.queue.push_back(trep);
+                cell.qlen.fetch_add(1, Ordering::SeqCst);
+            } else {
+                coalesced += 1;
+            }
+        }
+        ctrl.bufs.put(batch);
+    }
+    coalesced
+}
+
+/// Ships every non-empty outbox lane to its shard's inbox. Counts the
+/// messages as outstanding work *before* they become visible, upholding
+/// the quiescence protocol.
+fn flush_out(ctrl: &AsyncCtrl, out: &mut [MsgBatch]) {
+    for (d, buf) in out.iter_mut().enumerate() {
+        if buf.is_empty() {
+            continue;
+        }
+        let batch = std::mem::replace(buf, ctrl.bufs.get());
+        ctrl.quiesce
+            .add_work(u64::try_from(batch.len()).expect("batch length fits u64"));
+        let inbox = &ctrl.inboxes[d];
+        lock_ok(&inbox.msgs).push(batch);
+        inbox.cv.notify_one();
+    }
+}
+
+/// Picks the most loaded peer shard (queue length ≥ [`STEAL_MIN`]) and
+/// drains up to [`STEAL_BATCH`] of its representatives. Returns whether
+/// any work was actually done.
+fn try_steal<P: Plugin>(
+    me: usize,
+    shared: &RoundShared<'_, P>,
+    ctrl: &AsyncCtrl,
+    cells: &[ShardCell],
+    out: &mut [MsgBatch],
+) -> bool {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, cell) in cells.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        let len = cell.qlen.load(Ordering::SeqCst);
+        if len >= STEAL_MIN && best.is_none_or(|(_, b)| len > b) {
+            best = Some((i, len));
+        }
+    }
+    let Some((victim, _)) = best else {
+        return false;
+    };
+    if work_shard(me, victim, shared, ctrl, cells, out, STEAL_BATCH) > 0 {
+        ctrl.steals.fetch_add(1, Ordering::SeqCst);
+        true
+    } else {
+        false
+    }
+}
+
+/// Parks worker `me` on its inbox condvar until a message arrives, the
+/// park poll elapses (to re-scan for steal opportunities), or the
+/// coordinator ends the phase. The idle window is bracketed by
+/// `enter_idle`/`leave_idle` so the quiescence detector sees it.
+fn park(me: usize, ctrl: &AsyncCtrl) {
+    let inbox = &ctrl.inboxes[me];
+    let mut msgs = lock_ok(&inbox.msgs);
+    loop {
+        if ctrl.done.load(Ordering::SeqCst) {
+            return;
+        }
+        let aborted = ctrl.aborted.load(Ordering::SeqCst);
+        if !aborted && !msgs.is_empty() {
+            return;
+        }
+        ctrl.quiesce.enter_idle();
+        if aborted {
+            // Aborted: undelivered messages stay put for the coordinator's
+            // leftover drain; wait purely on the phase-end signal.
+            while !ctrl.done.load(Ordering::SeqCst) {
+                msgs = inbox.cv.wait(msgs).unwrap_or_else(|e| e.into_inner());
+            }
+            ctrl.quiesce.leave_idle();
+            return;
+        }
+        let (guard, timeout) = inbox
+            .cv
+            .wait_timeout(msgs, PARK_POLL)
+            .unwrap_or_else(|e| e.into_inner());
+        msgs = guard;
+        ctrl.quiesce.leave_idle();
+        if timeout.timed_out() || !msgs.is_empty() || ctrl.done.load(Ordering::SeqCst) {
+            return;
+        }
+        // Spurious wakeup with nothing to do: re-park.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bufpool_recycles_capacity() {
+        let pool: BufPool<u32> = BufPool::new();
+        let mut b = pool.get();
+        b.extend([1, 2, 3]);
+        let cap = b.capacity();
+        pool.put(b);
+        let b2 = pool.get();
+        assert!(b2.is_empty());
+        assert!(b2.capacity() >= cap);
+    }
+
+    #[test]
+    fn quiesce_counts_and_idles() {
+        let q = Quiesce::new(2);
+        assert!(!q.is_quiescent());
+        q.add_work(3);
+        q.enter_idle();
+        q.enter_idle();
+        assert!(!q.is_quiescent());
+        q.finish_work(3);
+        assert!(q.is_quiescent());
+        q.leave_idle();
+        assert!(!q.is_quiescent());
+        assert_eq!(q.idle_workers(), 1);
+    }
+
+    #[test]
+    fn quiesce_wait_until_returns_when_pred_holds() {
+        let q = Quiesce::new(1);
+        q.enter_idle();
+        q.wait_until(|| q.is_quiescent());
+    }
+}

@@ -24,7 +24,9 @@
 
 use std::collections::BTreeSet;
 
-use csc_core::{run_analysis_opts, Analysis, Budget, PrecisionMetrics, PtaResult, SolverOptions};
+use csc_core::{
+    run_analysis_opts, Analysis, Budget, Engine, PrecisionMetrics, PtaResult, SolverOptions,
+};
 use csc_ir::{CallSiteId, MethodId, ObjId, Program, VarId};
 
 /// The four configurations the acceptance criteria name.
@@ -122,14 +124,24 @@ fn differential(
     )
 }
 
-/// Runs one (program, analysis) pair on the sequential engine and on the
-/// sharded parallel engine at each requested thread count — under both
-/// commit modes: the sharded commit plane (worker-owned edge growth +
-/// stride interning) and the coordinator-replay fallback (the
-/// `CSC_PAR_COMMIT=0` path) — asserting bit-identical projections
-/// throughout. The mode is pinned through [`SolverOptions`] rather than
-/// the env var so the matrix is race-free under parallel test execution.
-/// `base_opts` carries the epoch configuration so
+/// Runs one (program, analysis) pair on the sequential engine and on
+/// *both* multi-threaded engines at each requested thread count,
+/// asserting bit-identical projections throughout:
+///
+/// * `CSC_ENGINE=bsp` — the bulk-synchronous engine, under both commit
+///   modes: the sharded commit plane (worker-owned edge growth + stride
+///   interning) and the coordinator-replay fallback (the
+///   `CSC_PAR_COMMIT=0` path);
+/// * `CSC_ENGINE=async` — the work-stealing engine, whose determinism
+///   contract is results-only (schedule-free): projections and metrics
+///   must still match the sequential engine exactly, which is precisely
+///   what this harness checks. The commit switch is irrelevant there
+///   (async phases always commit fan-out at the pause point), so it runs
+///   once per thread count.
+///
+/// Engine and commit mode are pinned through [`SolverOptions`] rather
+/// than the env vars so the matrix is race-free under parallel test
+/// execution. `base_opts` carries the epoch configuration so
 /// collapse-during-parallel paths get stressed too.
 fn differential_threads(
     program: &Program,
@@ -147,23 +159,32 @@ fn differential_threads(
     assert!(seq.completed(), "{what}: sequential run hit budget");
     let p_seq = Projections::capture(program, &seq.result);
     for &t in threads {
-        for commit in [true, false] {
-            let par = run_analysis_opts(
-                program,
-                analysis.clone(),
-                Budget::unlimited(),
-                base_opts.with_threads(t).with_par_commit(commit),
-            );
-            assert!(
-                par.completed(),
-                "{what}: {t}-thread (commit={commit}) run hit budget"
-            );
-            let p_par = Projections::capture(program, &par.result);
-            p_par.assert_identical(
-                &p_seq,
-                program,
-                &format!("{what} [threads={t}, commit={commit} vs 1]"),
-            );
+        for engine in [Engine::Bsp, Engine::Async] {
+            let commits: &[bool] = match engine {
+                Engine::Bsp => &[true, false],
+                Engine::Async => &[true],
+            };
+            for &commit in commits {
+                let par = run_analysis_opts(
+                    program,
+                    analysis.clone(),
+                    Budget::unlimited(),
+                    base_opts
+                        .with_threads(t)
+                        .with_par_commit(commit)
+                        .with_engine(engine),
+                );
+                assert!(
+                    par.completed(),
+                    "{what}: {t}-thread ({engine:?}, commit={commit}) run hit budget"
+                );
+                let p_par = Projections::capture(program, &par.result);
+                p_par.assert_identical(
+                    &p_seq,
+                    program,
+                    &format!("{what} [threads={t}, engine={engine:?}, commit={commit} vs 1]"),
+                );
+            }
         }
     }
 }
@@ -222,6 +243,29 @@ fn differential_parallel_balanced_route() {
                 SolverOptions::with_epoch(32).with_balanced_route(true),
                 &[2, 4],
                 &format!("{name}/{label} (parallel, balanced route, epoch=32)"),
+            );
+        }
+    }
+}
+
+/// BSP round fusion (`SolverOptions::with_round_fusion`) adaptively
+/// raises the inline-round threshold, so consecutive small rounds run on
+/// the coordinator instead of being dispatched — a pure scheduling
+/// lever, so projections must stay bit-identical to the sequential
+/// engine. Pinned through options (race-free under parallel test
+/// execution); the async engine ignores the knob, so the crossing inside
+/// [`differential_threads`] doubles as a no-interference check.
+#[test]
+fn differential_parallel_round_fusion() {
+    for name in ["hsqldb", "jython"] {
+        let program = csc_workloads::compiled(name).unwrap();
+        for (label, analysis) in configurations() {
+            differential_threads(
+                program,
+                analysis,
+                SolverOptions::with_epoch(32).with_round_fusion(true),
+                &[2, 4],
+                &format!("{name}/{label} (parallel, round fusion, epoch=32)"),
             );
         }
     }
