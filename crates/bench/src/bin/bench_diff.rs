@@ -48,6 +48,12 @@
 //! visible in CI logs, but it never trips a tolerance — the split is a
 //! decomposition of wall-clock, and wall-clock is already gated.
 //! Snapshots predating the fields parse as absent and print `-`.
+//!
+//! The incremental-resolve counters (`incr_fallbacks`, `resolve_secs`)
+//! are likewise informational: from-scratch table rows record 0 for
+//! both, and rows produced by incremental harnesses surface how often
+//! the localized path bailed. Old snapshots predate the fields and
+//! print `-`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -65,6 +71,13 @@ struct Row {
     /// Seconds of the coordinator spent in the per-round commit section
     /// (absent on snapshots predating the sharded commit plane).
     commit_secs: Option<f64>,
+    /// Incremental re-solves that fell back to a full solve (absent on
+    /// snapshots predating the incremental resolver; 0 on table rows,
+    /// which always solve from scratch).
+    incr_fallbacks: Option<u64>,
+    /// Seconds of the most recent incremental re-solve (absent on old
+    /// snapshots).
+    resolve_secs: Option<f64>,
 }
 
 impl Row {
@@ -148,6 +161,8 @@ fn parse(path: &str) -> Snapshot {
             parallel_secs: field(line, "parallel_secs").and_then(|v| v.parse().ok()),
             coordinator_secs: field(line, "coordinator_secs").and_then(|v| v.parse().ok()),
             commit_secs: field(line, "commit_secs").and_then(|v| v.parse().ok()),
+            incr_fallbacks: field(line, "incr_fallbacks").and_then(|v| v.parse().ok()),
+            resolve_secs: field(line, "resolve_secs").and_then(|v| v.parse().ok()),
         };
         rows.insert((program, analysis, threads, engine), row);
     }
@@ -218,7 +233,7 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     let mut warnings = 0usize;
     println!(
-        "{:<11} {:<9} {:>3} {:<5} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7} {:>7}",
+        "{:<11} {:<9} {:>3} {:<5} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7} {:>7} {:>7} {:>8}",
         "Program",
         "Analysis",
         "Thr",
@@ -230,7 +245,9 @@ fn main() -> ExitCode {
         "fresh-props",
         "Δprops%",
         "coord%",
-        "commit%"
+        "commit%",
+        "fallbk",
+        "resolve"
     );
     for ((program, analysis, threads, engine), base) in &baseline.rows {
         let key = (program.clone(), analysis.clone(), *threads, engine.clone());
@@ -295,6 +312,15 @@ fn main() -> ExitCode {
             .commit_share()
             .map(|s| format!("{:>6.1}%", s * 100.0))
             .unwrap_or_else(|| format!("{:>7}", "-"));
+        // Informational incremental-resolve counters (never gated).
+        let fallbk = new
+            .incr_fallbacks
+            .map(|n| format!("{n:>7}"))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
+        let resolve = new
+            .resolve_secs
+            .map(|s| format!("{s:>7.3}s"))
+            .unwrap_or_else(|| format!("{:>8}", "-"));
         let mut note = String::new();
         if time_bad || prop_bad {
             note.push_str(match (time_bad, prop_bad) {
@@ -311,7 +337,7 @@ fn main() -> ExitCode {
         }
         println!(
             "{program:<11} {analysis:<9} {threads:>3} {engine:<5} {:>11.3}s {:>11.3}s {:>8.1}% \
-             {:>14} {:>14} {:>8.1}% {coord} {commit}{note}",
+             {:>14} {:>14} {:>8.1}% {coord} {commit} {fallbk} {resolve}{note}",
             base.time_secs, new.time_secs, dt, base.propagations, new.propagations, dp,
         );
         failures += usize::from(time_bad) + usize::from(prop_bad);

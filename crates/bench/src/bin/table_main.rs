@@ -53,7 +53,8 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>, engine: &str, cpu: &
          \"commit_secs\": {:.6}, \
          \"propagations\": {}, \"pfg_edges\": {}, \"pointers\": {}, \
          \"scc_runs\": {}, \"sccs_collapsed\": {}, \"ptrs_collapsed\": {}, \
-         \"pause_count\": {}, \"steal_count\": {}",
+         \"pause_count\": {}, \"steal_count\": {}, \
+         \"incr_fallbacks\": {}, \"resolve_secs\": {:.6}",
         row.label,
         stats.threads,
         row.outcome.total_time.as_secs_f64(),
@@ -69,6 +70,8 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>, engine: &str, cpu: &
         stats.ptrs_collapsed,
         stats.pause_count,
         stats.steal_count,
+        stats.incr_fallbacks,
+        stats.resolve_secs,
     );
     if let Some(m) = &row.metrics {
         let _ = write!(

@@ -8,7 +8,20 @@
 //! csc run     <file.mj>            # concrete execution + trace summary
 //! csc bench   <name>               # analyze a built-in suite benchmark
 //! csc suite                        # list built-in benchmarks
+//! csc resolve <file.mj|name>       # incremental re-solve across deltas
+//!             [--delta <d.bin>]... [--gen-deltas <n>] [--seed <s>]
+//!             [--analysis ...] [--threads ...] [--metrics]
 //! ```
+//!
+//! `resolve` applies a sequence of program deltas (binary
+//! [`csc_ir::ProgramDelta`] files via repeated `--delta`, or `--gen-deltas
+//! <n>` seeded synthetic edits) and re-solves incrementally after each,
+//! falling back to a full solve — with the reason printed — when a delta
+//! breaks the incremental preconditions. Completed answers are memoized in
+//! the on-disk solved-result cache (`target/csc-results`, keyed by program
+//! content + analysis + options); a warm re-run answers from the cache
+//! without running propagation at all. `CSC_RESULT_CACHE=0` opts out,
+//! `CSC_RESULT_CACHE_DIR` redirects.
 //!
 //! `--threads` selects the propagation engine: `1` runs the sequential
 //! solver, `0` (the default, also via `CSC_THREADS`) resolves to the
@@ -20,7 +33,10 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use csc_core::{run_analysis_opts, Analysis, Budget, Engine, PrecisionMetrics, SolverOptions};
+use csc_core::{
+    resolve_analysis_opts, run_analysis_opts, Analysis, Budget, Engine, PrecisionMetrics,
+    SolverOptions,
+};
 use csc_interp::{execute, InterpConfig};
 use csc_ir::Program;
 
@@ -29,7 +45,9 @@ fn usage() -> ExitCode {
         "usage:\n  csc analyze <file.mj> [--analysis ci|2obj|2type|2cs|zipper|csc|csc-doop|csc-hybrid] \
          [--budget <secs>] [--threads <n>] [--engine async|bsp] [--pt <Class.method.var>] \
          [--metrics]\n  csc dump-ir <file.mj>\n  \
-         csc run <file.mj>\n  csc bench <name> [--analysis ...]\n  csc suite"
+         csc run <file.mj>\n  csc bench <name> [--analysis ...]\n  csc suite\n  \
+         csc resolve <file.mj|name> [--delta <d.bin>]... [--gen-deltas <n>] [--seed <s>] \
+         [--analysis ...] [--threads <n>] [--metrics]"
     );
     ExitCode::from(2)
 }
@@ -168,6 +186,157 @@ fn analyze(
     }
 }
 
+/// Prints one metrics line.
+fn print_metrics(m: &PrecisionMetrics) {
+    println!(
+        "  #fail-cast={} #reach-mtd={} #poly-call={} #call-edge={}",
+        m.fail_casts, m.reach_methods, m.poly_calls, m.call_edges
+    );
+}
+
+/// The `resolve` subcommand: apply a delta chain, re-solving incrementally
+/// after each step, with the final answer memoized in (and, when warm,
+/// answered from) the on-disk solved-result cache.
+#[allow(clippy::too_many_arguments)]
+fn resolve_cmd(
+    base: Program,
+    analysis: Analysis,
+    budget: Budget,
+    threads: usize,
+    engine_choice: Option<Engine>,
+    metrics: bool,
+    delta_files: &[String],
+    gen_deltas: usize,
+    seed: u64,
+) -> ExitCode {
+    let mut opts = SolverOptions::default().with_threads(threads);
+    if let Some(e) = engine_choice {
+        opts = opts.with_engine(e);
+    }
+    // Build the whole chain of patched programs up front; a delta that
+    // does not apply should fail before any solving starts.
+    let mut programs: Vec<Program> = vec![base];
+    let mut effects: Vec<csc_ir::DeltaEffects> = Vec::new();
+    if gen_deltas > 0 {
+        for step in 0..gen_deltas {
+            let cfg = csc_workloads::DeltaGenConfig {
+                seed: seed.wrapping_add(step as u64),
+                actions: 8,
+                removals: true,
+            };
+            let current = programs.last().expect("chain starts non-empty");
+            let delta = csc_workloads::generate_delta(current, &cfg);
+            match delta.apply(current) {
+                Ok((p, fx)) => {
+                    programs.push(p);
+                    effects.push(fx);
+                }
+                Err(e) => {
+                    eprintln!("generated delta {step} failed to apply: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else {
+        for path in delta_files {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let delta = match csc_ir::ProgramDelta::from_bytes(&bytes) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let current = programs.last().expect("chain starts non-empty");
+            match delta.apply(current) {
+                Ok((p, fx)) => {
+                    programs.push(p);
+                    effects.push(fx);
+                }
+                Err(e) => {
+                    eprintln!("{path}: delta does not apply: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let label = analysis.label().to_owned();
+    let final_program = programs.last().expect("chain starts non-empty");
+    let final_key = csc_core::result_cache_key(final_program, &analysis, &opts);
+    let cache_dir = csc_core::result_cache_dir();
+    // Warm path: an unchanged (program, analysis, options) triple answers
+    // from disk without running propagation at all.
+    if csc_core::result_cache_enabled() {
+        if let Some(summary) = csc_core::load_result(&cache_dir, final_key) {
+            println!(
+                "{label}: result cache hit ({} reachable methods, {} call edges, 0 propagations)",
+                summary.reachable.len(),
+                summary.call_edges.len()
+            );
+            if metrics {
+                print_metrics(&summary.metrics);
+            }
+            return ExitCode::SUCCESS;
+        }
+    }
+    // Cold path: solve the base once, then fold each delta incrementally.
+    let mut outcome = run_analysis_opts(&programs[0], analysis.clone(), budget, opts);
+    if !outcome.completed() {
+        println!("{label}: budget exhausted after {:?}", outcome.total_time);
+        return ExitCode::FAILURE;
+    }
+    println!("{label}: base solve completed in {:?}", outcome.total_time);
+    for (i, fx) in effects.iter().enumerate() {
+        outcome = resolve_analysis_opts(
+            outcome,
+            &programs[i + 1],
+            fx,
+            analysis.clone(),
+            budget,
+            opts,
+        );
+        if !outcome.completed() {
+            println!("{label}: budget exhausted at delta {i}");
+            return ExitCode::FAILURE;
+        }
+        let stats = &outcome.result.state.stats;
+        match stats.incr_fallback_reason {
+            None => println!(
+                "  delta {i}: incremental re-solve in {:.3}s",
+                stats.resolve_secs
+            ),
+            Some(r) => println!(
+                "  delta {i}: full-solve fallback ({r}) in {:.3}s",
+                stats.resolve_secs
+            ),
+        }
+    }
+    let stats = &outcome.result.state.stats;
+    println!(
+        "{label}: final ({} reachable methods, {} call edges, {} propagations, \
+         {} incremental re-solves, {} fallbacks)",
+        outcome.result.state.reachable_methods_projected().len(),
+        outcome.result.state.call_edges_projected().len(),
+        stats.propagations,
+        stats.incr_resolves,
+        stats.incr_fallbacks,
+    );
+    if metrics {
+        print_metrics(&PrecisionMetrics::compute(&outcome.result));
+    }
+    if csc_core::result_cache_enabled() {
+        let summary = csc_core::SolvedSummary::capture(final_program, &outcome.result);
+        csc_core::store_result(&cache_dir, final_key, &summary);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -188,6 +357,9 @@ fn main() -> ExitCode {
     let mut engine_choice: Option<Engine> = None;
     let mut pt_query: Option<String> = None;
     let mut metrics = false;
+    let mut delta_files: Vec<String> = Vec::new();
+    let mut gen_deltas: usize = 0;
+    let mut seed: u64 = 1;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -232,6 +404,24 @@ fn main() -> ExitCode {
                 pt_query = Some(v.clone());
             }
             "--metrics" => metrics = true,
+            "--delta" => {
+                let Some(v) = it.next() else { return usage() };
+                delta_files.push(v.clone());
+            }
+            "--gen-deltas" => {
+                let Some(v) = it.next() else { return usage() };
+                match v.parse::<usize>() {
+                    Ok(n) => gen_deltas = n,
+                    Err(_) => return usage(),
+                }
+            }
+            "--seed" => {
+                let Some(v) = it.next() else { return usage() };
+                match v.parse::<u64>() {
+                    Ok(s) => seed = s,
+                    Err(_) => return usage(),
+                }
+            }
             other => positional.push(other.to_owned()),
         }
     }
@@ -324,6 +514,44 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "resolve" => {
+            let Some(target) = positional.first() else {
+                return usage();
+            };
+            if !delta_files.is_empty() && gen_deltas > 0 {
+                eprintln!("--delta and --gen-deltas are mutually exclusive");
+                return usage();
+            }
+            // A MiniJava file path, or a built-in benchmark name.
+            let program = if std::path::Path::new(target).is_file() {
+                match load(target) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match csc_workloads::by_name(target) {
+                    Some(b) => b.compile(),
+                    None => {
+                        eprintln!("`{target}` is neither a file nor a benchmark (try `csc suite`)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            resolve_cmd(
+                program,
+                analysis,
+                budget,
+                threads,
+                engine_choice,
+                metrics,
+                &delta_files,
+                gen_deltas,
+                seed,
+            )
         }
         "suite" => {
             for b in csc_workloads::suite() {

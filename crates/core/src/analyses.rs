@@ -4,11 +4,16 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use csc_ir::{MethodId, Program};
+use csc_ir::{DeltaEffects, MethodId, Program};
 
-use crate::context::{CallSiteSelector, CiSelector, ObjSelector, SelectiveSelector, TypeSelector};
+use crate::context::{
+    CallSiteSelector, CiSelector, ContextSelector, ObjSelector, SelectiveSelector, TypeSelector,
+};
 use crate::csc::{CscConfig, CscStats, CutShortcut};
-use crate::solver::{Budget, NoPlugin, PtaResult, Solver, SolverOptions};
+use crate::solver::incr::Resolved;
+use crate::solver::{
+    Budget, FallbackReason, NoPlugin, PtaResult, Solver, SolverOptions, SolverStats,
+};
 use crate::zipper::{ZipperE, ZipperOptions};
 
 /// The analyses compared in the paper's evaluation (§5).
@@ -66,6 +71,12 @@ pub struct AnalysisOutcome<'p> {
     pub csc: Option<CscStats>,
     /// Selected method set (Zipper-e only).
     pub selected: Option<HashSet<MethodId>>,
+    /// The plugin instance the main solve returned (CSC analyses only),
+    /// retained so [`resolve_analysis`] can rebase it across a delta.
+    plugin: Option<CutShortcut>,
+    /// The CI pre-analysis result (Zipper-e and hybrid only), retained so
+    /// [`resolve_analysis`] can extend the pre-analysis incrementally too.
+    pre_result: Option<PtaResult<'p>>,
 }
 
 impl AnalysisOutcome<'_> {
@@ -108,6 +119,8 @@ pub fn run_analysis_opts<'p>(
                 pre_time: None,
                 csc: None,
                 selected: None,
+                plugin: None,
+                pre_result: None,
             }
         }
         Analysis::KObj(k) => {
@@ -120,6 +133,8 @@ pub fn run_analysis_opts<'p>(
                 pre_time: None,
                 csc: None,
                 selected: None,
+                plugin: None,
+                pre_result: None,
             }
         }
         Analysis::KType(k) => {
@@ -132,6 +147,8 @@ pub fn run_analysis_opts<'p>(
                 pre_time: None,
                 csc: None,
                 selected: None,
+                plugin: None,
+                pre_result: None,
             }
         }
         Analysis::KCallSite(k) => {
@@ -145,6 +162,8 @@ pub fn run_analysis_opts<'p>(
                 pre_time: None,
                 csc: None,
                 selected: None,
+                plugin: None,
+                pre_result: None,
             }
         }
         Analysis::ZipperE => {
@@ -175,6 +194,8 @@ pub fn run_analysis_opts<'p>(
                 pre_time: Some(pre_time),
                 csc: None,
                 selected: Some(selected),
+                plugin: None,
+                pre_result: Some(pre),
             }
         }
         Analysis::CutShortcut => run_analysis_opts(
@@ -195,6 +216,8 @@ pub fn run_analysis_opts<'p>(
                 pre_time: None,
                 csc: Some(plugin.stats().clone()),
                 selected: None,
+                plugin: Some(plugin),
+                pre_result: None,
             }
         }
         Analysis::CscHybrid => {
@@ -231,8 +254,275 @@ pub fn run_analysis_opts<'p>(
                 total_time,
                 pre_time: Some(pre_time),
                 csc: Some(plugin.stats().clone()),
-                selected: Some(selected),
+                selected: Some(selected.clone()),
+                plugin: Some(plugin),
+                pre_result: Some(pre),
             }
+        }
+    }
+}
+
+/// [`resolve_analysis_opts`] with default [`SolverOptions`].
+pub fn resolve_analysis<'p>(
+    prev: AnalysisOutcome<'_>,
+    patched: &'p Program,
+    fx: &DeltaEffects,
+    analysis: Analysis,
+    budget: Budget,
+) -> AnalysisOutcome<'p> {
+    resolve_analysis_opts(
+        prev,
+        patched,
+        fx,
+        analysis,
+        budget,
+        SolverOptions::default(),
+    )
+}
+
+/// Incrementally re-runs `analysis` on a delta-patched program on top of a
+/// previous [`run_analysis_opts`] outcome.
+///
+/// `patched` and `fx` must come from [`csc_ir::ProgramDelta::apply`] on the
+/// program `prev` was solved against, and `analysis`/`opts` must match the
+/// base run. When the delta's preconditions hold the solver re-propagates
+/// only from the affected pointers ([`crate::solver::incr`]); otherwise it
+/// transparently falls back to a full solve of `patched` and records the
+/// reason in [`SolverStats::incr_fallback_reason`]. Either way, the
+/// outcome's projections are bit-identical to running the analysis on
+/// `patched` from scratch.
+///
+/// Two-phase analyses (Zipper-e, the hybrid) extend the CI pre-analysis
+/// incrementally too, recompute the selection on the patched program, and
+/// fall back with [`FallbackReason::PreanalysisChanged`] when the selected
+/// method set shifted — the base main solve then ran under a different
+/// selector and its fixpoint cannot be extended.
+pub fn resolve_analysis_opts<'p>(
+    prev: AnalysisOutcome<'_>,
+    patched: &'p Program,
+    fx: &DeltaEffects,
+    analysis: Analysis,
+    budget: Budget,
+    opts: SolverOptions,
+) -> AnalysisOutcome<'p> {
+    match analysis {
+        Analysis::Ci => {
+            let (result, _) = resolve_plain(prev.result, patched, fx, || CiSelector, budget, opts);
+            plain_outcome(result)
+        }
+        Analysis::KObj(k) => {
+            let (result, _) = resolve_plain(
+                prev.result,
+                patched,
+                fx,
+                || ObjSelector::new(k),
+                budget,
+                opts,
+            );
+            plain_outcome(result)
+        }
+        Analysis::KType(k) => {
+            let (result, _) = resolve_plain(
+                prev.result,
+                patched,
+                fx,
+                || TypeSelector::new(k),
+                budget,
+                opts,
+            );
+            plain_outcome(result)
+        }
+        Analysis::KCallSite(k) => {
+            let (result, _) = resolve_plain(
+                prev.result,
+                patched,
+                fx,
+                || CallSiteSelector::new(k),
+                budget,
+                opts,
+            );
+            plain_outcome(result)
+        }
+        Analysis::ZipperE => {
+            let zopts = ZipperOptions::default();
+            let prev_selected = prev
+                .selected
+                .expect("Zipper-e outcome retains its selection");
+            let pre_prev = prev
+                .pre_result
+                .expect("Zipper-e outcome retains its pre-analysis");
+            let (pre, _) = resolve_plain(pre_prev, patched, fx, || CiSelector, budget, opts);
+            let pre_time = pre.elapsed;
+            let zipper = ZipperE::select(patched, &pre, zopts);
+            let selected = zipper.selected.clone();
+            let main_budget = Budget {
+                time: budget.time.map(|t| t.saturating_sub(pre_time)),
+                max_propagations: budget.max_propagations,
+            };
+            let mk =
+                || SelectiveSelector::new(ObjSelector::new(zopts.k), selected.clone(), "Zipper-e");
+            let (mut result, _) = if selected != prev_selected {
+                let prior = prev.result.state.stats;
+                let (mut res, _) =
+                    Solver::with_options(patched, mk(), NoPlugin, main_budget, opts).solve();
+                stamp_fallback(&mut res, &prior, FallbackReason::PreanalysisChanged);
+                (res, Some(FallbackReason::PreanalysisChanged))
+            } else {
+                resolve_plain(prev.result, patched, fx, mk, main_budget, opts)
+            };
+            result.state.stats.parallel_secs += pre.state.stats.parallel_secs;
+            result.state.stats.coordinator_secs += pre.state.stats.coordinator_secs;
+            result.state.stats.resolve_secs += pre.state.stats.resolve_secs;
+            let total_time = pre_time + result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: Some(pre_time),
+                csc: None,
+                selected: Some(selected),
+                plugin: None,
+                pre_result: Some(pre),
+            }
+        }
+        Analysis::CutShortcut => resolve_analysis_opts(
+            prev,
+            patched,
+            fx,
+            Analysis::CutShortcutWith(CscConfig::all()),
+            budget,
+            opts,
+        ),
+        Analysis::CutShortcutWith(cfg) => {
+            let plugin = prev.plugin.expect("CSC outcome retains its plugin");
+            let prior = prev.result.state.stats;
+            let (mut result, plugin) =
+                match Solver::resolve(prev.result, patched, fx, CiSelector, plugin, budget) {
+                    Resolved::Incremental(res, plugin) => (res, plugin),
+                    // The returned plugin may hold state derived from the
+                    // base program; a fallback solve needs a fresh one.
+                    Resolved::Fallback(reason, _stale) => {
+                        let plugin = CutShortcut::new(patched, cfg);
+                        let (mut res, plugin) =
+                            Solver::with_options(patched, CiSelector, plugin, budget, opts).solve();
+                        stamp_fallback(&mut res, &prior, reason);
+                        (res, plugin)
+                    }
+                };
+            result.analysis = "csc".to_owned();
+            let total_time = result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: None,
+                csc: Some(plugin.stats().clone()),
+                selected: None,
+                plugin: Some(plugin),
+                pre_result: None,
+            }
+        }
+        Analysis::CscHybrid => {
+            let zopts = ZipperOptions::default();
+            let cfg = CscConfig::all();
+            let prev_selected = prev.selected.expect("hybrid outcome retains its selection");
+            let pre_prev = prev
+                .pre_result
+                .expect("hybrid outcome retains its pre-analysis");
+            let plugin = prev.plugin.expect("hybrid outcome retains its plugin");
+            let (pre, _) = resolve_plain(pre_prev, patched, fx, || CiSelector, budget, opts);
+            let pre_time = pre.elapsed;
+            let zipper = ZipperE::select(patched, &pre, zopts);
+            let covered = crate::csc::pattern_methods(patched, &cfg);
+            let selected: HashSet<MethodId> =
+                zipper.selected.difference(&covered).copied().collect();
+            let main_budget = Budget {
+                time: budget.time.map(|t| t.saturating_sub(pre_time)),
+                max_propagations: budget.max_propagations,
+            };
+            let mk =
+                || SelectiveSelector::new(ObjSelector::new(zopts.k), selected.clone(), "CSC+sel");
+            let prior = prev.result.state.stats;
+            let (mut result, plugin) = if selected != prev_selected {
+                let plugin = CutShortcut::new(patched, cfg);
+                let (mut res, plugin) =
+                    Solver::with_options(patched, mk(), plugin, main_budget, opts).solve();
+                stamp_fallback(&mut res, &prior, FallbackReason::PreanalysisChanged);
+                (res, plugin)
+            } else {
+                match Solver::resolve(prev.result, patched, fx, mk(), plugin, main_budget) {
+                    Resolved::Incremental(res, plugin) => (res, plugin),
+                    Resolved::Fallback(reason, _stale) => {
+                        let plugin = CutShortcut::new(patched, cfg);
+                        let (mut res, plugin) =
+                            Solver::with_options(patched, mk(), plugin, main_budget, opts).solve();
+                        stamp_fallback(&mut res, &prior, reason);
+                        (res, plugin)
+                    }
+                }
+            };
+            result.analysis = "csc-hybrid".to_owned();
+            result.state.stats.parallel_secs += pre.state.stats.parallel_secs;
+            result.state.stats.coordinator_secs += pre.state.stats.coordinator_secs;
+            result.state.stats.resolve_secs += pre.state.stats.resolve_secs;
+            let total_time = pre_time + result.elapsed;
+            AnalysisOutcome {
+                result,
+                total_time,
+                pre_time: Some(pre_time),
+                csc: Some(plugin.stats().clone()),
+                selected: Some(selected),
+                plugin: Some(plugin),
+                pre_result: Some(pre),
+            }
+        }
+    }
+}
+
+/// Wraps a plugin-free result the way [`run_analysis_opts`]'s plain arms
+/// do.
+fn plain_outcome(result: PtaResult<'_>) -> AnalysisOutcome<'_> {
+    let total_time = result.elapsed;
+    AnalysisOutcome {
+        result,
+        total_time,
+        pre_time: None,
+        csc: None,
+        selected: None,
+        plugin: None,
+        pre_result: None,
+    }
+}
+
+/// Stamps incremental-resolve bookkeeping onto a fresh full-solve result
+/// that replaced a failed incremental attempt. `prior` is the base
+/// result's stats, copied before [`Solver::resolve`] consumed it.
+fn stamp_fallback(res: &mut PtaResult<'_>, prior: &SolverStats, reason: FallbackReason) {
+    let stats = &mut res.state.stats;
+    stats.incr_resolves = prior.incr_resolves + 1;
+    stats.incr_fallbacks = prior.incr_fallbacks + 1;
+    stats.incr_fallback_reason = Some(reason);
+    stats.resolve_secs = res.elapsed.as_secs_f64();
+}
+
+/// Incremental re-solve for plugin-free analyses: try
+/// [`Solver::resolve`], fall back to a from-scratch solve under `opts`
+/// when it declines. Returns the fallback reason alongside the result
+/// (`None` when the incremental path succeeded).
+fn resolve_plain<'p, S: ContextSelector>(
+    prev: PtaResult<'_>,
+    patched: &'p Program,
+    fx: &DeltaEffects,
+    mk_selector: impl Fn() -> S,
+    budget: Budget,
+    opts: SolverOptions,
+) -> (PtaResult<'p>, Option<FallbackReason>) {
+    let prior = prev.state.stats;
+    match Solver::resolve(prev, patched, fx, mk_selector(), NoPlugin, budget) {
+        Resolved::Incremental(res, _) => (res, None),
+        Resolved::Fallback(reason, _) => {
+            let (mut res, _) =
+                Solver::with_options(patched, mk_selector(), NoPlugin, budget, opts).solve();
+            stamp_fallback(&mut res, &prior, reason);
+            (res, Some(reason))
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use csc_ir::{ClassId, MethodId, Program};
+use csc_ir::{ClassId, EntityCounts, MethodId, Program};
 
 /// Which kind of container element a role manipulates. Distinguishing map
 /// keys from map values lets `keySet()` iterators match `put`'s key argument
@@ -155,6 +155,27 @@ impl ResolvedContainerSpec {
             .iter()
             .chain(self.map_roots.iter())
             .any(|&root| program.is_subclass(class, root))
+    }
+
+    /// Whether `new` (resolved against a patched, additions-only extension
+    /// of the base program) agrees with `self` (resolved against the base)
+    /// on the base entity domain. Root class lists must be exactly equal —
+    /// host classification is hierarchy-wide, so a delta-added root class
+    /// is conservatively not rebasable — while entrance/exit/transfer
+    /// annotations may gain entries for appended methods only (an added
+    /// annotation on a *base* method means existing call edges missed its
+    /// container obligations).
+    pub fn compatible_extension(&self, new: &ResolvedContainerSpec, base: &EntityCounts) -> bool {
+        let in_m = |m: &MethodId| m.index() < base.methods;
+        self.collection_roots == new.collection_roots
+            && self.map_roots == new.map_roots
+            && super::prep::map_restricted_eq(&self.entrances, &new.entrances, in_m)
+            && super::prep::map_restricted_eq(&self.exits, &new.exits, in_m)
+            && self.transfers.iter().all(|m| new.transfers.contains(m))
+            && new
+                .transfers
+                .iter()
+                .all(|m| !in_m(m) || self.transfers.contains(m))
     }
 }
 

@@ -34,7 +34,7 @@ pub use prep::{cha_targets, StaticInfo};
 
 use std::collections::{HashSet, VecDeque};
 
-use csc_ir::{CallSiteId, FieldId, MethodId, Program, StoreId, VarId};
+use csc_ir::{CallSiteId, DeltaEffects, FieldId, MethodId, Program, StoreId, VarId};
 
 use crate::context::CtxId;
 use crate::fx::{FxHashMap, FxHashSet};
@@ -180,6 +180,29 @@ pub fn pattern_methods(program: &Program, cfg: &CscConfig) -> HashSet<MethodId> 
         out.extend(spec.transfers.iter().copied());
     }
     out
+}
+
+/// Whether a Cut-Shortcut plugin built for `base` would rebase onto
+/// `patched` (the [`crate::FallbackReason::CscObligations`] gate of the
+/// incremental driver), recomputed from scratch on both programs. This is
+/// the pure oracle behind [`CutShortcut`]'s [`Plugin::rebase`]
+/// implementation, exposed so the incremental proptest harness can assert
+/// the fallback fires exactly when this predicate is false.
+pub fn rebase_compatible(
+    base: &Program,
+    patched: &Program,
+    fx: &DeltaEffects,
+    cfg: &CscConfig,
+) -> bool {
+    if !fx.additions_only() {
+        return false;
+    }
+    let old_info = StaticInfo::compute(base);
+    let new_info = StaticInfo::compute(patched);
+    let old_spec = cfg.container_spec.resolve(base);
+    let new_spec = cfg.container_spec.resolve(patched);
+    old_info.compatible_extension(&new_info, &fx.base)
+        && old_spec.compatible_extension(&new_spec, &fx.base)
 }
 
 /// A host watch attached to the receiver pointer of a container call site.
@@ -786,6 +809,31 @@ impl Plugin for CutShortcut {
             Event::NewEdge { src, dst, kind } => self.on_edge(st, src, dst, kind),
             Event::NewReachable { .. } => {}
         }
+    }
+
+    /// Cut-Shortcut survives a delta exactly when it is additions-only and
+    /// the freshly computed static tables agree with the old ones on the
+    /// base entity domain (removals would invalidate derived shortcut
+    /// edges and registered obligations; a changed pattern classification
+    /// on a base entity means existing call edges were processed against
+    /// the wrong tables). On success the *dynamic* state (obligations,
+    /// temp-prop registrations, host maps) carries over and the fresh
+    /// tables are swapped in — the old ones would index out of bounds on
+    /// appended sites.
+    fn rebase(&mut self, _base: &Program, patched: &Program, fx: &DeltaEffects) -> bool {
+        if !fx.additions_only() {
+            return false;
+        }
+        let info = StaticInfo::compute(patched);
+        let spec = self.cfg.container_spec.resolve(patched);
+        if !self.info.compatible_extension(&info, &fx.base)
+            || !self.spec.compatible_extension(&spec, &fx.base)
+        {
+            return false;
+        }
+        self.info = info;
+        self.spec = spec;
+        true
     }
 
     fn is_store_cut(&self, site: StoreId) -> bool {

@@ -310,6 +310,62 @@ pub fn cha_targets(program: &Program, cs: &csc_ir::CallSite) -> Vec<MethodId> {
     }
 }
 
+/// Restricted-domain map equality for rebase-compatibility checks: `old`
+/// and `new` must agree exactly on every key in the base entity domain
+/// (`in_base`); `new` may add entries outside it freely.
+pub(crate) fn map_restricted_eq<K, V>(
+    old: &HashMap<K, V>,
+    new: &HashMap<K, V>,
+    in_base: impl Fn(&K) -> bool,
+) -> bool
+where
+    K: Eq + std::hash::Hash,
+    V: PartialEq,
+{
+    old.iter().all(|(k, v)| new.get(k) == Some(v))
+        && new.keys().all(|k| !in_base(k) || old.contains_key(k))
+}
+
+impl StaticInfo {
+    /// Whether `new` (computed on a patched, additions-only extension of
+    /// the base program) agrees with `self` (computed on the base) on the
+    /// base entity domain — the precondition for carrying the plugin's
+    /// *dynamic* cut/shortcut state across a delta while swapping in the
+    /// freshly computed tables (old tables would index out of bounds on
+    /// appended sites).
+    ///
+    /// Every solve-time-consulted field is compared over the base ids:
+    /// `cut_stores` / `qualifying_ret_load` / `unredefined_param_k` as
+    /// prefixes, the method- and variable-keyed maps and sets restricted to
+    /// base ids in both directions (an added pattern entry *on a base
+    /// method* means existing call edges missed its obligations — not
+    /// rebasable). `def_count` is compile-time-only input and is deliberately
+    /// excluded: an added redefinition that matters surfaces through
+    /// `unredefined_param_k` or the derived tables.
+    pub fn compatible_extension(&self, new: &StaticInfo, base: &csc_ir::EntityCounts) -> bool {
+        let in_m = |m: &MethodId| m.index() < base.methods;
+        self.cut_stores[..] == new.cut_stores[..self.cut_stores.len()]
+            && self.qualifying_ret_load[..]
+                == new.qualifying_ret_load[..self.qualifying_ret_load.len()]
+            && self.unredefined_param_k[..]
+                == new.unredefined_param_k[..self.unredefined_param_k.len()]
+            && map_restricted_eq(&self.prop_store_seeds, &new.prop_store_seeds, in_m)
+            && map_restricted_eq(&self.prop_load_seeds, &new.prop_load_seeds, in_m)
+            && map_restricted_eq(&self.lflow, &new.lflow, in_m)
+            && self
+                .cut_load_returns
+                .iter()
+                .all(|m| new.cut_load_returns.contains(m))
+            && new
+                .cut_load_returns
+                .iter()
+                .all(|m| !in_m(m) || self.cut_load_returns.contains(m))
+            && map_restricted_eq(&self.ret_var_owner, &new.ret_var_owner, |v: &VarId| {
+                v.index() < base.vars
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,6 +46,7 @@ pub mod context;
 pub mod csc;
 pub mod fx;
 pub mod pts;
+pub mod results;
 pub mod scc;
 pub mod solver;
 pub mod table;
@@ -56,18 +57,27 @@ mod pool;
 mod shard;
 mod steal;
 
-pub use analyses::{run_analysis, run_analysis_opts, Analysis, AnalysisOutcome};
+pub use analyses::{
+    resolve_analysis, resolve_analysis_opts, run_analysis, run_analysis_opts, Analysis,
+    AnalysisOutcome,
+};
 pub use clients::PrecisionMetrics;
 pub use context::{
     CallInfo, CallSiteSelector, CiSelector, ContextSelector, CtxElem, CtxId, CtxInterner,
     ObjSelector, SelectiveSelector, TypeSelector,
 };
-pub use csc::{pattern_methods, CscConfig, CscStats, CutShortcut};
+pub use csc::{pattern_methods, rebase_compatible, CscConfig, CscStats, CutShortcut};
 pub use pts::PointsToSet;
+pub use results::{
+    load_result, result_cache_dir, result_cache_enabled, result_cache_key, store_result,
+    SolvedSummary,
+};
 pub use scc::OnlineScc;
+pub use solver::incr::Resolved;
 pub use solver::{
-    Budget, CsObjId, DiscoverCtx, EdgeKind, Engine, Event, NoPlugin, Plugin, PtaResult, PtrId,
-    PtrKey, Reaction, ShortcutKind, SolveStatus, Solver, SolverOptions, SolverState, SolverStats,
+    Budget, CsObjId, DiscoverCtx, EdgeKind, Engine, Event, FallbackReason, NoPlugin, Plugin,
+    PtaResult, PtrId, PtrKey, Reaction, ShortcutKind, SolveStatus, Solver, SolverOptions,
+    SolverState, SolverStats,
 };
 pub use steal::Quiesce;
 pub use table::{ShardKey, ShardedTable};

@@ -406,16 +406,26 @@ impl StmtIndex {
             stores_with_base: vec![Vec::new(); n],
             calls_with_recv: vec![Vec::new(); n],
         };
-        for (i, l) in program.loads().iter().enumerate() {
-            idx.loads_with_base[l.base().index()].push(LoadId::from_usize(i));
-        }
-        for (i, s) in program.stores().iter().enumerate() {
-            idx.stores_with_base[s.base().index()].push(StoreId::from_usize(i));
-        }
-        for (i, c) in program.call_sites().iter().enumerate() {
-            if let Some(r) = c.recv() {
-                idx.calls_with_recv[r.index()].push(CallSiteId::from_usize(i));
-            }
+        // Walk method *bodies*, not the site tables: a `ProgramDelta`
+        // statement removal leaves its site-table entry behind as an orphan
+        // (site ids are append-only), and orphaned sites must not fire. For
+        // builder-produced programs the two walks are identical — site ids
+        // are allocated in body order.
+        for m in program.methods() {
+            m.visit_stmts(|s| match s {
+                csc_ir::Stmt::Load(id) => {
+                    idx.loads_with_base[program.load(*id).base().index()].push(*id);
+                }
+                csc_ir::Stmt::Store(id) => {
+                    idx.stores_with_base[program.store(*id).base().index()].push(*id);
+                }
+                csc_ir::Stmt::Call(id) => {
+                    if let Some(r) = program.call_site(*id).recv() {
+                        idx.calls_with_recv[r.index()].push(*id);
+                    }
+                }
+                _ => {}
+            });
         }
         idx
     }

@@ -89,12 +89,19 @@ use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use csc_ir::{
-    CallKind, CallSiteId, CastId, FieldId, LoadId, MethodId, ObjId, Program, Stmt, StoreId, VarId,
+    CallKind, CallSiteId, CastId, DeltaEffects, FieldId, LoadId, MethodId, ObjId, Program, Stmt,
+    StoreId, VarId,
 };
 
 use crate::context::{CallInfo, ContextSelector, CtxId, CtxInterner};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::pts::PointsToSet;
+
+/// Incremental re-solve: delta rebase, removal-cone reset, and localized
+/// re-propagation. A child module of `solver` (not a sibling) because it
+/// reaches into [`SolverState`]'s private data plane.
+#[path = "incr.rs"]
+pub mod incr;
 
 /// A dense id for a PFG pointer (context-qualified variable or
 /// context-qualified abstract object's field).
@@ -324,6 +331,17 @@ pub trait Plugin {
     fn apply(&mut self, st: &mut SolverState<'_>, delta: &PointsToSet, reaction: Reaction) {
         let _ = (st, delta, reaction);
     }
+
+    /// Whether the plugin can carry its derived state across a program
+    /// delta from `base` to `patched`, rebasing any statically computed
+    /// tables onto the patched program. Returning `false` makes the
+    /// incremental driver fall back to a full solve
+    /// ([`FallbackReason::CscObligations`]). Stateless plugins are always
+    /// rebasable, hence the default.
+    fn rebase(&mut self, base: &Program, patched: &Program, fx: &DeltaEffects) -> bool {
+        let _ = (base, patched, fx);
+        true
+    }
 }
 
 /// The identity plugin (plain Andersen-style analysis).
@@ -417,6 +435,58 @@ pub struct SolverStats {
     /// Async engine: successful steal batches (a worker drained part of a
     /// loaded peer shard's worklist). Schedule-dependent by nature.
     pub steal_count: u64,
+    /// Incremental re-solves performed on this state (via
+    /// [`Solver::resolve`] or `resolve_analysis`), including fallbacks.
+    pub incr_resolves: u64,
+    /// Incremental re-solves that abandoned localized re-propagation and
+    /// ran a full from-scratch solve instead.
+    pub incr_fallbacks: u64,
+    /// Why the most recent incremental re-solve fell back (`None` when it
+    /// completed via localized re-propagation).
+    pub incr_fallback_reason: Option<FallbackReason>,
+    /// Wall-clock seconds of the most recent incremental re-solve
+    /// (localized or fallback), excluding delta application itself.
+    pub resolve_secs: f64,
+}
+
+/// Why an incremental re-solve ([`Solver::resolve`]) abandoned localized
+/// re-propagation and ran a full from-scratch solve of the patched program
+/// instead. Recorded in [`SolverStats::incr_fallback_reason`]; falling back
+/// is always sound (the result is a complete solve), the reason exists so
+/// callers and the differential harness can check it fires exactly when its
+/// precondition holds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The base result did not run to completion (budget exhaustion), so
+    /// there is no fixpoint to extend.
+    BaseIncomplete,
+    /// The delta changed an existing `(class, signature) → method` dispatch
+    /// mapping (e.g. an added override of an inherited method), so derived
+    /// call edges could be invalidated non-monotonically.
+    DispatchChanged,
+    /// The removal cone touched an SCC-collapsed pointer: per-member resets
+    /// cannot be localized through a merged representative's shared set.
+    SccStructure,
+    /// The delta touched Cut-Shortcut obligations: statements were removed
+    /// while the plugin holds derived cut/shortcut state, or the static
+    /// pattern tables changed on base-program entities.
+    CscObligations,
+    /// A selective analysis's selection changed: the Zipper-e (or hybrid)
+    /// pre-analysis selects a different method set on the patched program,
+    /// so the old main-analysis contexts no longer apply.
+    PreanalysisChanged,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FallbackReason::BaseIncomplete => "base-incomplete",
+            FallbackReason::DispatchChanged => "dispatch-changed",
+            FallbackReason::SccStructure => "scc-structure",
+            FallbackReason::CscObligations => "csc-obligations",
+            FallbackReason::PreanalysisChanged => "preanalysis-changed",
+        })
+    }
 }
 
 /// Which multi-threaded propagation engine a solve runs
@@ -2330,6 +2400,20 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
         let entry = self.state.program.entry();
         self.state
             .add_reachable(&self.selector, &self.plugin, CtxId::EMPTY, entry);
+        self.drain(start)
+    }
+
+    /// Runs the engine loop (sequential, BSP, or async work-stealing per
+    /// the resolved options) on the already-seeded state until fixpoint or
+    /// budget exhaustion, then finalizes the result. Shared by [`solve`]
+    /// (seeded from the entry method) and the incremental re-solve path
+    /// (seeded from a delta's re-propagation frontier).
+    ///
+    /// [`solve`]: Solver::solve
+    fn drain(self, start: Instant) -> (PtaResult<'p>, P)
+    where
+        P: Send + Sync,
+    {
         let Solver {
             mut state,
             selector,

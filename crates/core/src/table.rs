@@ -194,4 +194,84 @@ mod tests {
         // Shard 0 holds the even keys, shard 1 the odd ones.
         assert_eq!(keys, vec![0, 2, 4, 1, 3, 5]);
     }
+
+    /// `merged()` is a pure function of the table's *content* and shard
+    /// count: insert order (which drives hash-map internal order) must
+    /// never leak into the view.
+    #[test]
+    fn merged_independent_of_insert_order() {
+        let keys = [12u32, 7, 0, 31, 18, 3, 25, 44, 9, 16];
+        for nshards in [1, 2, 3, 4, 7] {
+            let mut forward: ShardedTable<u32, u32> = ShardedTable::new(nshards);
+            let mut backward: ShardedTable<u32, u32> = ShardedTable::new(nshards);
+            let mut shuffled: ShardedTable<u32, u32> = ShardedTable::new(nshards);
+            for &k in &keys {
+                forward.insert(k, k + 1);
+            }
+            for &k in keys.iter().rev() {
+                backward.insert(k, k + 1);
+            }
+            for &k in keys.iter().cycle().skip(4).take(keys.len()) {
+                shuffled.insert(k, k + 1);
+            }
+            let view: Vec<(u32, u32)> = forward
+                .merged()
+                .into_iter()
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            let b: Vec<(u32, u32)> = backward
+                .merged()
+                .into_iter()
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            let s: Vec<(u32, u32)> = shuffled
+                .merged()
+                .into_iter()
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            assert_eq!(view, b, "nshards={nshards}: insert order leaked");
+            assert_eq!(view, s, "nshards={nshards}: insert order leaked");
+        }
+    }
+
+    /// Re-partitioning to a given shard count yields exactly the view a
+    /// fresh table built at that shard count has — `set_shards` is
+    /// content-preserving and the merged view depends only on (content,
+    /// shard count). At one shard the view is globally key-sorted, so
+    /// every shard count normalizes to the same single-shard view.
+    #[test]
+    fn merged_deterministic_across_shard_counts() {
+        let keys = [12u32, 7, 0, 31, 18, 3, 25, 44, 9, 16];
+        let build = |nshards: usize| {
+            let mut t: ShardedTable<u32, u32> = ShardedTable::new(nshards);
+            for &k in &keys {
+                t.insert(k, k * 2);
+            }
+            t
+        };
+        let mut sorted: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k * 2)).collect();
+        sorted.sort_unstable();
+        for from in [1usize, 2, 3, 5, 8] {
+            for to in [1usize, 2, 3, 5, 8] {
+                let mut t = build(from);
+                t.set_shards(to);
+                let rehomed: Vec<(u32, u32)> =
+                    t.merged().into_iter().map(|(k, v)| (*k, *v)).collect();
+                let fresh: Vec<(u32, u32)> = build(to)
+                    .merged()
+                    .into_iter()
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                assert_eq!(
+                    rehomed, fresh,
+                    "{from} -> {to}: re-partition changed the view"
+                );
+                let mut t1 = t;
+                t1.set_shards(1);
+                let normalized: Vec<(u32, u32)> =
+                    t1.merged().into_iter().map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(normalized, sorted, "{from} -> {to} -> 1: not key-sorted");
+            }
+        }
+    }
 }

@@ -49,6 +49,7 @@
 
 mod builder;
 mod bytes;
+mod delta;
 mod display;
 mod ids;
 mod program;
@@ -57,6 +58,7 @@ mod ty;
 
 pub use builder::{BuildError, MethodBuilder, ProgramBuilder};
 pub use bytes::DecodeError;
+pub use delta::{DeltaEffects, DeltaError, DeltaOp, DeltaStmt, EntityCounts, ProgramDelta};
 pub use ids::{CallSiteId, CastId, ClassId, FieldId, LoadId, MethodId, ObjId, StoreId, VarId};
 pub use program::{
     CallSite, CastSite, Class, Field, LoadSite, Method, MethodKind, ObjInfo, Program, SigId,

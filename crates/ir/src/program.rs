@@ -494,6 +494,49 @@ impl Program {
         self.vtables[recv_class.index()].get(&sig).copied()
     }
 
+    /// Resolves virtual dispatch directly by signature: the concrete method
+    /// a receiver of dynamic class `class` binds for `sig`, if any. Exposed
+    /// for the incremental re-solve's dispatch-stability check, which
+    /// compares base and patched vtables over the base entity domain.
+    pub fn dispatch_by_sig(&self, class: ClassId, sig: SigId) -> Option<MethodId> {
+        self.vtables[class.index()].get(&sig).copied()
+    }
+
+    /// Number of interned method signatures. Signature ids are allocated
+    /// append-only (both by the builder and by [`crate::ProgramDelta`]), so
+    /// a base program's signatures are a stable prefix of any patched
+    /// program's.
+    pub fn sig_count(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether `patched` (an append-only extension of `self` produced by
+    /// [`crate::ProgramDelta::apply`]) preserves every virtual-dispatch
+    /// decision over `self`'s class × signature domain: no existing
+    /// `(class, signature) → method` binding changes, and no binding
+    /// appears for an existing class × existing signature that was
+    /// previously unbound (e.g. a delta-added override of an inherited
+    /// method). New classes and new signatures may bind freely. This is the
+    /// monotonicity precondition of the incremental re-solve's
+    /// additions-replay path.
+    pub fn dispatch_stable_under(&self, patched: &Program) -> bool {
+        let old_sigs = self.sigs.len();
+        for (c, old_table) in self.vtables.iter().enumerate() {
+            let new_table = &patched.vtables[c];
+            for (s, m) in old_table {
+                if new_table.get(s) != Some(m) {
+                    return false;
+                }
+            }
+            for (s, m) in new_table {
+                if (s.0 as usize) < old_sigs && old_table.get(s) != Some(m) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Finds a field by name, searching `class` and then its ancestors.
     pub fn resolve_field(&self, class: ClassId, name: &str) -> Option<FieldId> {
         for &c in &self.ancestors[class.index()] {

@@ -1,0 +1,385 @@
+//! Seeded program-delta generator for the incremental-solve harness.
+//!
+//! Produces [`ProgramDelta`] edit scripts against an already-compiled
+//! [`Program`], mixing the edit kinds the incremental solver must handle:
+//!
+//! * **clone** — re-append a copy of an existing pointer-relevant
+//!   statement (New/Assign/Cast/Load/Store/Call) to its own method, the
+//!   way edits duplicate logic;
+//! * **fresh flow** — a new local, a `new` into it, and an assignment
+//!   into an existing reference variable of the method (new allocation
+//!   sites feeding existing flows);
+//! * **remove** — delete a random top-level statement tree
+//!   ([`DeltaOp::RemoveStmt`], the non-monotone case that forces the
+//!   solver's removal-cone machinery);
+//! * **new code** — a fresh class with a static identity method, wired
+//!   into the program by a static call from an existing method (new
+//!   reachable code, new classes, dispatch-table growth).
+//!
+//! Deltas are a pure function of `(program, config)`: the differential
+//! harness and the CLI `resolve --gen-deltas` path must agree on the edit
+//! sequence given the same seed. Generated deltas always apply cleanly —
+//! the generator tracks id allocation (vars, classes, methods append in
+//! op order) and top-level body lengths exactly as
+//! [`ProgramDelta::apply`] does.
+
+use csc_ir::{ClassId, DeltaOp, DeltaStmt, MethodId, Program, ProgramDelta, Stmt, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Knobs for one generated delta.
+#[derive(Clone, Debug)]
+pub struct DeltaGenConfig {
+    /// RNG seed (the delta is a pure function of the config and program).
+    pub seed: u64,
+    /// Number of edit actions (each action may emit several ops).
+    pub actions: usize,
+    /// Whether removal actions are allowed. `false` generates monotone
+    /// (additions-only) deltas, which the incremental solver must never
+    /// fall back on for plain analyses.
+    pub removals: bool,
+}
+
+impl Default for DeltaGenConfig {
+    fn default() -> Self {
+        DeltaGenConfig {
+            seed: 1,
+            actions: 8,
+            removals: true,
+        }
+    }
+}
+
+/// Generates one delta against `program`. Always applies cleanly
+/// (`ProgramDelta::apply(program).is_ok()`, covered by tests).
+pub fn generate_delta(program: &Program, cfg: &DeltaGenConfig) -> ProgramDelta {
+    let mut g = DeltaGen::new(program, cfg.seed);
+    for _ in 0..cfg.actions {
+        // Removals are rarer than additions (realistic edits grow code),
+        // and each action falls through to the next kind when the program
+        // has no eligible site for it.
+        let kind = if cfg.removals {
+            g.rng.gen_range(0..5)
+        } else {
+            // Skip kind 2 (remove) entirely in monotone mode.
+            [0usize, 1, 3, 4][g.rng.gen_range(0..4)]
+        };
+        match kind {
+            0 | 3 => g.clone_stmt(),
+            1 => g.fresh_flow(),
+            2 => g.remove_stmt(),
+            _ => g.new_code(),
+        }
+    }
+    ProgramDelta { ops: g.ops }
+}
+
+/// Generator state: the op list under construction plus the id-allocation
+/// and body-length bookkeeping that keeps every emitted op valid.
+struct DeltaGen<'p> {
+    program: &'p Program,
+    rng: StdRng,
+    ops: Vec<DeltaOp>,
+    /// Next var id a delta-allocated variable will get.
+    next_var: usize,
+    /// Next class id `AddClass` will get.
+    next_class: usize,
+    /// Next method id `AddMethod` will get.
+    next_method: usize,
+    /// Current *top-level* body length per edited method (delta-aware).
+    body_len: HashMap<MethodId, usize>,
+    /// Methods with a body in the base program (clone/remove/call targets).
+    concrete: Vec<MethodId>,
+    /// `(method, stmt)` pairs clonable as [`DeltaStmt`]s.
+    clonable: Vec<(MethodId, DeltaStmt)>,
+}
+
+impl<'p> DeltaGen<'p> {
+    fn new(program: &'p Program, seed: u64) -> Self {
+        let concrete: Vec<MethodId> = (0..program.methods().len())
+            .map(MethodId::from_usize)
+            .filter(|&m| !program.method(m).is_abstract())
+            .collect();
+        let mut clonable = Vec::new();
+        for &m in &concrete {
+            for stmt in program.method(m).body() {
+                if let Some(ds) = as_delta_stmt(program, stmt) {
+                    clonable.push((m, ds));
+                }
+            }
+        }
+        DeltaGen {
+            program,
+            rng: StdRng::seed_from_u64(seed),
+            ops: Vec::new(),
+            next_var: program.vars().len(),
+            next_class: program.classes().len(),
+            next_method: program.methods().len(),
+            body_len: HashMap::new(),
+            concrete,
+            clonable,
+        }
+    }
+
+    fn len_of(&mut self, m: MethodId) -> usize {
+        *self
+            .body_len
+            .entry(m)
+            .or_insert_with(|| self.program.method(m).body().len())
+    }
+
+    fn push_stmt(&mut self, m: MethodId, stmt: DeltaStmt) {
+        *self
+            .body_len
+            .entry(m)
+            .or_insert_with(|| self.program.method(m).body().len()) += 1;
+        self.ops.push(DeltaOp::AddStmt { method: m, stmt });
+    }
+
+    /// A random concrete class (abstract classes cannot be instantiated).
+    fn pick_class(&mut self) -> ClassId {
+        let concrete: Vec<ClassId> = (0..self.program.classes().len())
+            .map(ClassId::from_usize)
+            .filter(|&c| !self.program.class(c).is_abstract())
+            .collect();
+        concrete[self.rng.gen_range(0..concrete.len())]
+    }
+
+    /// A random reference-typed variable of `m`, if any.
+    fn pick_ref_var(&mut self, m: MethodId) -> Option<VarId> {
+        let vars: Vec<VarId> = self
+            .program
+            .method(m)
+            .vars()
+            .iter()
+            .copied()
+            .filter(|&v| self.program.var(v).ty().is_reference())
+            .collect();
+        if vars.is_empty() {
+            None
+        } else {
+            Some(vars[self.rng.gen_range(0..vars.len())])
+        }
+    }
+
+    fn clone_stmt(&mut self) {
+        if self.clonable.is_empty() {
+            return self.fresh_flow();
+        }
+        let i = self.rng.gen_range(0..self.clonable.len());
+        let (m, ds) = self.clonable[i].clone();
+        self.push_stmt(m, ds);
+    }
+
+    fn fresh_flow(&mut self) {
+        let m = self.concrete[self.rng.gen_range(0..self.concrete.len())];
+        let class = self.pick_class();
+        let v = VarId::from_usize(self.next_var);
+        self.next_var += 1;
+        self.ops.push(DeltaOp::AddLocal { method: m, class });
+        self.push_stmt(m, DeltaStmt::New { lhs: v, class });
+        if let Some(dst) = self.pick_ref_var(m) {
+            self.push_stmt(m, DeltaStmt::Assign { lhs: dst, rhs: v });
+        }
+    }
+
+    fn remove_stmt(&mut self) {
+        // Only remove statements that still exist; prefer methods with a
+        // few statements so the removal hits real flow, not a lone return.
+        for _ in 0..8 {
+            let m = self.concrete[self.rng.gen_range(0..self.concrete.len())];
+            let len = self.len_of(m);
+            if len == 0 {
+                continue;
+            }
+            let index = self.rng.gen_range(0..len) as u32;
+            *self.body_len.get_mut(&m).expect("len_of inserted") -= 1;
+            self.ops.push(DeltaOp::RemoveStmt { method: m, index });
+            return;
+        }
+    }
+
+    fn new_code(&mut self) {
+        let object = self.program.object_class();
+        let class = ClassId::from_usize(self.next_class);
+        self.next_class += 1;
+        self.ops.push(DeltaOp::AddClass {
+            name: format!("GenC{}", class.index()),
+            superclass: None,
+            fields: vec![("gf".to_owned(), object)],
+        });
+        // A static identity method: `static Object gen(Object p) { return p; }`.
+        // Static + one param + a return allocates exactly two vars (param,
+        // `@ret`), in that order.
+        let method = MethodId::from_usize(self.next_method);
+        self.next_method += 1;
+        let param = VarId::from_usize(self.next_var);
+        let ret = VarId::from_usize(self.next_var + 1);
+        self.next_var += 2;
+        self.ops.push(DeltaOp::AddMethod {
+            class,
+            name: "gen".to_owned(),
+            params: vec![object],
+            ret: Some(object),
+            is_static: true,
+        });
+        self.body_len.insert(method, 0);
+        self.push_stmt(
+            method,
+            DeltaStmt::Assign {
+                lhs: ret,
+                rhs: param,
+            },
+        );
+        // Wire it in: call it from the entry half the time (guaranteed
+        // reachable), a random method otherwise.
+        let caller = if self.rng.gen_bool(0.5) {
+            self.program.entry()
+        } else {
+            self.concrete[self.rng.gen_range(0..self.concrete.len())]
+        };
+        let lhs = VarId::from_usize(self.next_var);
+        self.next_var += 1;
+        self.ops.push(DeltaOp::AddLocal {
+            method: caller,
+            class: object,
+        });
+        let arg = self.pick_ref_var(caller).unwrap_or(lhs);
+        self.push_stmt(
+            caller,
+            DeltaStmt::Call {
+                lhs: Some(lhs),
+                recv: None,
+                target: method,
+                args: vec![arg],
+            },
+        );
+    }
+}
+
+/// Converts a body statement back into the [`DeltaStmt`] that would emit
+/// an equivalent copy. `None` for statements the delta language does not
+/// cover (control flow, primitives, special calls).
+fn as_delta_stmt(program: &Program, stmt: &Stmt) -> Option<DeltaStmt> {
+    Some(match *stmt {
+        Stmt::New { lhs, obj } => DeltaStmt::New {
+            lhs,
+            class: program.obj(obj).class(),
+        },
+        Stmt::Assign { lhs, rhs } => DeltaStmt::Assign { lhs, rhs },
+        Stmt::Cast(id) => {
+            let site = program.cast(id);
+            DeltaStmt::Cast {
+                lhs: site.lhs(),
+                rhs: site.rhs(),
+                class: site.ty().as_class()?,
+            }
+        }
+        Stmt::Load(id) => {
+            let site = program.load(id);
+            DeltaStmt::Load {
+                lhs: site.lhs(),
+                base: site.base(),
+                field: site.field(),
+            }
+        }
+        Stmt::Store(id) => {
+            let site = program.store(id);
+            DeltaStmt::Store {
+                base: site.base(),
+                field: site.field(),
+                rhs: site.rhs(),
+            }
+        }
+        Stmt::Call(id) => {
+            let site = program.call_site(id);
+            // Special (constructor/super) calls bind exact targets; the
+            // delta language only expresses static and virtual calls.
+            match site.kind() {
+                csc_ir::CallKind::Static => DeltaStmt::Call {
+                    lhs: site.lhs(),
+                    recv: None,
+                    target: site.target(),
+                    args: site.args().to_vec(),
+                },
+                csc_ir::CallKind::Virtual => DeltaStmt::Call {
+                    lhs: site.lhs(),
+                    recv: Some(site.recv()?),
+                    target: site.target(),
+                    args: site.args().to_vec(),
+                },
+                csc_ir::CallKind::Special => return None,
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_deltas_apply_cleanly() {
+        let program = crate::compiled("hsqldb").unwrap();
+        for seed in 0..24 {
+            let cfg = DeltaGenConfig {
+                seed,
+                actions: 10,
+                removals: true,
+            };
+            let delta = generate_delta(program, &cfg);
+            assert!(!delta.ops.is_empty(), "seed {seed}: empty delta");
+            let (patched, fx) = delta
+                .apply(program)
+                .unwrap_or_else(|e| panic!("seed {seed}: delta must apply: {e}"));
+            assert!(patched.vars().len() >= program.vars().len());
+            assert_eq!(fx.base.methods, program.methods().len());
+        }
+    }
+
+    #[test]
+    fn monotone_mode_never_removes() {
+        let program = crate::compiled("findbugs").unwrap();
+        for seed in 0..16 {
+            let cfg = DeltaGenConfig {
+                seed,
+                actions: 12,
+                removals: false,
+            };
+            let delta = generate_delta(program, &cfg);
+            let (_, fx) = delta.apply(program).expect("monotone delta applies");
+            assert!(fx.additions_only(), "seed {seed}: removal in monotone mode");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let program = crate::compiled("findbugs").unwrap();
+        let cfg = DeltaGenConfig::default();
+        let a = generate_delta(program, &cfg);
+        let b = generate_delta(program, &cfg);
+        assert_eq!(a, b);
+    }
+
+    /// Deltas chain: applying a generated delta to the *patched* program
+    /// keeps working (the CLI's `--gen-deltas N` path).
+    #[test]
+    fn deltas_chain_across_patched_programs() {
+        let program = crate::compiled("findbugs").unwrap();
+        let mut current = program.clone();
+        for step in 0..4 {
+            let cfg = DeltaGenConfig {
+                seed: 100 + step,
+                actions: 6,
+                removals: true,
+            };
+            let delta = generate_delta(&current, &cfg);
+            let (patched, _) = delta
+                .apply(&current)
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            current = patched;
+        }
+    }
+}

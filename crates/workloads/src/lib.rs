@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta_gen;
 pub mod examples;
 pub mod gen;
 pub mod jdk;
 pub mod suite;
 
+pub use delta_gen::{generate_delta, DeltaGenConfig};
 pub use gen::{generate, GenConfig};
 pub use jdk::MINI_JDK;
 pub use suite::{by_name, compiled, suite, xl, Benchmark};

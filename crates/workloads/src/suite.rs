@@ -292,6 +292,54 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Regression: a corrupt cache entry must be treated as a miss — the
+    /// lowering falls back to a fresh compile (bit-identical to the clean
+    /// one) and the damaged entry is overwritten with a decodable one.
+    /// Covers truncation, bit flips in the header region, and trailing
+    /// garbage, since any of them can result from an interrupted write or
+    /// a stale-format restore of `target/` in CI.
+    #[test]
+    fn disk_cache_corrupt_entry_falls_back_and_repopulates() {
+        let dir =
+            std::env::temp_dir().join(format!("csc-cache-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = by_name("findbugs").unwrap();
+        let clean = compile_with_cache_dir(&bench, &dir);
+        let entry = std::fs::read_dir(&dir)
+            .expect("cache dir created")
+            .map(|e| e.expect("dir entry").path())
+            .find(|p| p.extension().is_some_and(|x| x == "bin"))
+            .expect("one .bin cache entry");
+        let good = std::fs::read(&entry).expect("entry readable");
+        let corruptions: Vec<Vec<u8>> = vec![
+            Vec::new(),                      // empty file
+            good[..good.len() / 2].to_vec(), // truncated
+            {
+                let mut b = good.clone();
+                b[0] ^= 0xff; // smashed magic/header
+                b
+            },
+            {
+                let mut b = good.clone();
+                b.push(0); // trailing garbage
+                b
+            },
+        ];
+        for (i, bytes) in corruptions.iter().enumerate() {
+            std::fs::write(&entry, bytes).expect("write corruption");
+            let relowered = compile_with_cache_dir(&bench, &dir);
+            assert_eq!(
+                clean, relowered,
+                "corruption {i}: fallback compile differs from clean lowering"
+            );
+            let repaired = std::fs::read(&entry).expect("entry rewritten");
+            let decoded = csc_ir::Program::from_bytes(&repaired)
+                .unwrap_or_else(|e| panic!("corruption {i}: entry not repopulated: {e:?}"));
+            assert_eq!(decoded, clean, "corruption {i}: repopulated entry differs");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// The xl stress program must actually cross the 10⁵-statement bar.
     /// Ignored by default (generating + lowering ~10⁵ statements is slow
     /// unoptimized); CI runs it in release mode alongside the differential
