@@ -4,10 +4,10 @@
 //! wall-clock time or propagation count.
 //!
 //! ```text
-//! bench_diff <baseline.json> <fresh.json> [--time-tol PCT] [--prop-tol PCT]
+//! bench_diff <baseline.json> <fresh.json> [--time-tol PCT] [--prop-tol PCT] [--mem-tol PCT]
 //! ```
 //!
-//! Defaults: 10% for both, per the roadmap's CI perf-tracking item. The
+//! Defaults: 10% for all three, per the roadmap's CI perf-tracking item. The
 //! tolerances can also be set via `CSC_DIFF_TIME_TOL` / `CSC_DIFF_PROP_TOL`
 //! (flags win). Propagation counts are deterministic, so their check is
 //! exact modulo the tolerance; wall-clock is machine-dependent, so the
@@ -54,6 +54,16 @@
 //! both, and rows produced by incremental harnesses surface how often
 //! the localized path bailed. Old snapshots predate the fields and
 //! print `-`.
+//!
+//! The memory columns (`peak_rss_kb`, `pts_bytes`, `edge_bytes`,
+//! `shared_chunks`) gate with `--mem-tol` / `CSC_DIFF_MEM_TOL`:
+//! `peak_rss_kb` growth beyond the tolerance fails the run when the
+//! hardware fingerprints match (downgraded to a warning otherwise, like
+//! wall-clock — RSS depends on the allocator and page behaviour), and
+//! `pts_bytes` growth fails on deterministic engines (warning on
+//! `async` rows, whose set-capacity history is schedule-dependent).
+//! `edge_bytes` and `shared_chunks` are informational. Rows where either
+//! snapshot predates a memory field print `-` for it and never gate.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -78,6 +88,18 @@ struct Row {
     /// Seconds of the most recent incremental re-solve (absent on old
     /// snapshots).
     resolve_secs: Option<f64>,
+    /// Process peak RSS (kB) when the row finished (absent on snapshots
+    /// predating the memory plane, and on non-Linux recorders).
+    peak_rss_kb: Option<u64>,
+    /// Exact heap bytes of every live points-to set (absent on old
+    /// snapshots).
+    pts_bytes: Option<u64>,
+    /// Exact heap bytes of the PFG edge structures (absent on old
+    /// snapshots).
+    edge_bytes: Option<u64>,
+    /// Dense chunk blocks reached through more than one set (absent on
+    /// old snapshots).
+    shared_chunks: Option<u64>,
 }
 
 impl Row {
@@ -163,6 +185,10 @@ fn parse(path: &str) -> Snapshot {
             commit_secs: field(line, "commit_secs").and_then(|v| v.parse().ok()),
             incr_fallbacks: field(line, "incr_fallbacks").and_then(|v| v.parse().ok()),
             resolve_secs: field(line, "resolve_secs").and_then(|v| v.parse().ok()),
+            peak_rss_kb: field(line, "peak_rss_kb").and_then(|v| v.parse().ok()),
+            pts_bytes: field(line, "pts_bytes").and_then(|v| v.parse().ok()),
+            edge_bytes: field(line, "edge_bytes").and_then(|v| v.parse().ok()),
+            shared_chunks: field(line, "shared_chunks").and_then(|v| v.parse().ok()),
         };
         rows.insert((program, analysis, threads, engine), row);
     }
@@ -179,7 +205,7 @@ fn tol(flag_val: Option<f64>, env: &str, default: f64) -> f64 {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&String> = Vec::new();
-    let (mut time_flag, mut prop_flag) = (None, None);
+    let (mut time_flag, mut prop_flag, mut mem_flag) = (None, None, None);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -187,7 +213,7 @@ fn main() -> ExitCode {
             // relies on these flags to select which gate applies, and a
             // silent fallback to the default would gate wall-clock against
             // a snapshot from incomparable hardware.
-            flag @ ("--time-tol" | "--prop-tol") => {
+            flag @ ("--time-tol" | "--prop-tol" | "--mem-tol") => {
                 let Some(value) = it.next() else {
                     eprintln!("bench_diff: {flag} requires a percentage value");
                     return ExitCode::from(2);
@@ -196,10 +222,10 @@ fn main() -> ExitCode {
                     eprintln!("bench_diff: cannot parse {flag} value {value:?} as a percentage");
                     return ExitCode::from(2);
                 };
-                if flag == "--time-tol" {
-                    time_flag = Some(pct);
-                } else {
-                    prop_flag = Some(pct);
+                match flag {
+                    "--time-tol" => time_flag = Some(pct),
+                    "--prop-tol" => prop_flag = Some(pct),
+                    _ => mem_flag = Some(pct),
                 }
             }
             _ => paths.push(a),
@@ -207,12 +233,14 @@ fn main() -> ExitCode {
     }
     let [baseline_path, fresh_path] = paths[..] else {
         eprintln!(
-            "usage: bench_diff <baseline.json> <fresh.json> [--time-tol PCT] [--prop-tol PCT]"
+            "usage: bench_diff <baseline.json> <fresh.json> \
+             [--time-tol PCT] [--prop-tol PCT] [--mem-tol PCT]"
         );
         return ExitCode::from(2);
     };
     let time_tol = tol(time_flag, "CSC_DIFF_TIME_TOL", 10.0);
     let prop_tol = tol(prop_flag, "CSC_DIFF_PROP_TOL", 10.0);
+    let mem_tol = tol(mem_flag, "CSC_DIFF_MEM_TOL", 10.0);
 
     let baseline = parse(baseline_path);
     let fresh = parse(fresh_path);
@@ -233,7 +261,8 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     let mut warnings = 0usize;
     println!(
-        "{:<11} {:<9} {:>3} {:<5} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7} {:>7} {:>7} {:>8}",
+        "{:<11} {:<9} {:>3} {:<5} {:>12} {:>12} {:>9} {:>14} {:>14} {:>9} {:>7} {:>7} {:>7} {:>8} \
+         {:>10} {:>7} {:>9} {:>7} {:>8} {:>7}",
         "Program",
         "Analysis",
         "Thr",
@@ -247,7 +276,13 @@ fn main() -> ExitCode {
         "coord%",
         "commit%",
         "fallbk",
-        "resolve"
+        "resolve",
+        "rss-kb",
+        "Δrss%",
+        "pts-MB",
+        "Δpts%",
+        "edge-MB",
+        "shared"
     );
     for ((program, analysis, threads, engine), base) in &baseline.rows {
         let key = (program.clone(), analysis.clone(), *threads, engine.clone());
@@ -321,6 +356,54 @@ fn main() -> ExitCode {
             .resolve_secs
             .map(|s| format!("{s:>7.3}s"))
             .unwrap_or_else(|| format!("{:>8}", "-"));
+        // Memory gate: a delta only exists when *both* snapshots carry the
+        // field — a row from an old snapshot prints `-` and never gates.
+        let pct = |b: u64, f: u64| (f as f64 - b as f64) / (b as f64).max(1.0) * 100.0;
+        let drss = base
+            .peak_rss_kb
+            .zip(new.peak_rss_kb)
+            .map(|(b, f)| pct(b, f));
+        let dpts = base.pts_bytes.zip(new.pts_bytes).map(|(b, f)| pct(b, f));
+        let (mut rss_bad, mut pts_bad) = (
+            drss.is_some_and(|d| d > mem_tol),
+            dpts.is_some_and(|d| d > mem_tol),
+        );
+        let (mut rss_warn, mut pts_warn) = (false, false);
+        // RSS depends on the allocator and page behaviour — only gate it
+        // runner-against-runner, like wall-clock.
+        if rss_bad && !same_hardware {
+            rss_bad = false;
+            rss_warn = true;
+        }
+        // Async set-capacity history is schedule-dependent, like its
+        // propagation count.
+        if pts_bad && engine == "async" {
+            pts_bad = false;
+            pts_warn = true;
+        }
+        let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+        let rss = new
+            .peak_rss_kb
+            .map(|kb| format!("{kb:>10}"))
+            .unwrap_or_else(|| format!("{:>10}", "-"));
+        let rss_d = drss
+            .map(|d| format!("{d:>6.1}%"))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
+        let pts = new
+            .pts_bytes
+            .map(|b| format!("{:>9.2}", mb(b)))
+            .unwrap_or_else(|| format!("{:>9}", "-"));
+        let pts_d = dpts
+            .map(|d| format!("{d:>6.1}%"))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
+        let edge = new
+            .edge_bytes
+            .map(|b| format!("{:>8.2}", mb(b)))
+            .unwrap_or_else(|| format!("{:>8}", "-"));
+        let shared = new
+            .shared_chunks
+            .map(|n| format!("{n:>7}"))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
         let mut note = String::new();
         if time_bad || prop_bad {
             note.push_str(match (time_bad, prop_bad) {
@@ -329,19 +412,39 @@ fn main() -> ExitCode {
                 _ => "  <- PROP REGRESSION",
             });
         }
+        if rss_bad || pts_bad {
+            note.push_str(match (rss_bad, pts_bad) {
+                (true, true) => "  <- RSS+PTS MEMORY REGRESSION",
+                (true, false) => "  <- RSS MEMORY REGRESSION",
+                _ => "  <- PTS MEMORY REGRESSION",
+            });
+        }
         if time_warn {
             note.push_str("  (time drift: WARNING, hardware differs)");
         }
         if prop_warn {
             note.push_str("  (prop drift: WARNING, async schedule-dependent)");
         }
+        if rss_warn {
+            note.push_str("  (rss drift: WARNING, hardware differs)");
+        }
+        if pts_warn {
+            note.push_str("  (pts-bytes drift: WARNING, async schedule-dependent)");
+        }
         println!(
             "{program:<11} {analysis:<9} {threads:>3} {engine:<5} {:>11.3}s {:>11.3}s {:>8.1}% \
-             {:>14} {:>14} {:>8.1}% {coord} {commit} {fallbk} {resolve}{note}",
+             {:>14} {:>14} {:>8.1}% {coord} {commit} {fallbk} {resolve} \
+             {rss} {rss_d} {pts} {pts_d} {edge} {shared}{note}",
             base.time_secs, new.time_secs, dt, base.propagations, new.propagations, dp,
         );
-        failures += usize::from(time_bad) + usize::from(prop_bad);
-        warnings += usize::from(time_warn) + usize::from(prop_warn);
+        failures += usize::from(time_bad)
+            + usize::from(prop_bad)
+            + usize::from(rss_bad)
+            + usize::from(pts_bad);
+        warnings += usize::from(time_warn)
+            + usize::from(prop_warn)
+            + usize::from(rss_warn)
+            + usize::from(pts_warn);
     }
     for key in fresh.rows.keys() {
         if !baseline.rows.contains_key(key) {
@@ -357,12 +460,13 @@ fn main() -> ExitCode {
     if failures > 0 {
         eprintln!(
             "bench_diff: {failures} regression(s) beyond tolerance \
-             (time {time_tol}%, propagations {prop_tol}%)"
+             (time {time_tol}%, propagations {prop_tol}%, memory {mem_tol}%)"
         );
         return ExitCode::FAILURE;
     }
     println!(
-        "bench_diff: no regressions beyond tolerance (time {time_tol}%, propagations {prop_tol}%)"
+        "bench_diff: no regressions beyond tolerance \
+         (time {time_tol}%, propagations {prop_tol}%, memory {mem_tol}%)"
     );
     ExitCode::SUCCESS
 }

@@ -14,10 +14,19 @@
 //! so runs are comparable across commits; a checksum of every result is
 //! printed to keep the optimizer from deleting the work. Iteration count
 //! scales with `CSC_PTS_ITERS` (default 2000).
+//!
+//! A second section compares the two large-set representations
+//! (`legacy` whole-range bitmap vs the default `chunked` hybrid) on
+//! three element distributions the solver produces — `sparse` (few ids
+//! scattered over a wide universe), `clustered` (ids bunched into a few
+//! hot chunks, the common allocation-site locality shape), and `dense`
+//! (most of a narrow universe) — reporting ns/union and the exact heap
+//! bytes per set, so the memory-diet trade is visible next to the speed
+//! trade.
 
 use std::time::Instant;
 
-use csc_core::PointsToSet;
+use csc_core::{PointsToSet, PtsRepr};
 
 /// Deterministic xorshift32 — no external RNG, identical streams on every
 /// run and machine.
@@ -92,4 +101,70 @@ fn main() {
         s.union_with(&small_b);
         s.len() as u64
     });
+
+    // ---- representation comparison --------------------------------------
+    //
+    // Each distribution is rebuilt under each representation (the mode is
+    // read at promotion time, so operand construction must happen after
+    // `set_default_repr`). The rng is reseeded per pairing so both reprs
+    // union element-identical operands.
+    println!();
+    println!(
+        "{:<11} {:<9} {:>12} {:>13} {:>9}",
+        "Distrib", "Repr", "ns/union", "bytes/set", "elems"
+    );
+    for (dist, len, universe) in [
+        // Few ids scattered wide: one sparse chunk per few elements.
+        ("sparse", 256usize, 1 << 20u32),
+        // Allocation-site locality: many ids inside a handful of chunks.
+        ("clustered", 4096, 1 << 20),
+        // Most of a narrow universe: every chunk dense.
+        ("dense", 49_152, 1 << 16),
+    ] {
+        for repr in [PtsRepr::Legacy, PtsRepr::Chunked] {
+            csc_core::pts::set_default_repr(repr);
+            let mut rng = XorShift(0xdead_beef ^ len as u32);
+            let (a, b) = if dist == "clustered" {
+                // Draw from four 4096-id windows spread across the
+                // universe — the chunked layout's best case, the
+                // whole-range bitmap's worst.
+                let windows: Vec<u32> = (0..4).map(|_| (rng.next() % universe) & !0xfff).collect();
+                let clustered = |rng: &mut XorShift| {
+                    let mut s = PointsToSet::new();
+                    while s.len() < len {
+                        let w = windows[(rng.next() % 4) as usize];
+                        s.insert(w + (rng.next() & 0xfff));
+                    }
+                    s
+                };
+                (clustered(&mut rng), clustered(&mut rng))
+            } else {
+                (
+                    random_set(&mut rng, len, universe),
+                    random_set(&mut rng, len, universe),
+                )
+            };
+            let label = match repr {
+                PtsRepr::Legacy => "legacy",
+                PtsRepr::Chunked => "chunked",
+            };
+            let mut checksum = 0u64;
+            let start = Instant::now();
+            for _ in 0..iters {
+                let mut s = a.clone();
+                s.union_with(&b);
+                checksum = checksum.wrapping_add(s.len() as u64);
+            }
+            let elapsed = start.elapsed();
+            let mut merged = a.clone();
+            merged.union_with(&b);
+            println!(
+                "{dist:<11} {label:<9} {:>12.1} {:>13} {:>9}   (checksum={checksum})",
+                elapsed.as_nanos() as f64 / f64::from(iters),
+                merged.heap_bytes(),
+                merged.len(),
+            );
+        }
+    }
+    csc_core::pts::set_default_repr(PtsRepr::Chunked);
 }

@@ -73,6 +73,19 @@ fn json_row(out: &mut String, program: &str, row: &Row<'_>, engine: &str, cpu: &
         stats.incr_fallbacks,
         stats.resolve_secs,
     );
+    // Memory-plane columns (PR 9): exact per-structure byte accounting from
+    // the solver, plus the process peak RSS at the time the row finished.
+    // VmHWM is a process-wide high-water mark, so later rows only reflect
+    // growth beyond every earlier row — bench_diff still catches a diet
+    // regression because the *first* row to blow the budget moves.
+    let _ = write!(
+        out,
+        ", \"pts_bytes\": {}, \"edge_bytes\": {}, \"shared_chunks\": {}",
+        stats.pts_bytes, stats.edge_bytes, stats.shared_chunks
+    );
+    if let Some(kb) = csc_core::peak_rss_kb() {
+        let _ = write!(out, ", \"peak_rss_kb\": {kb}");
+    }
     if let Some(m) = &row.metrics {
         let _ = write!(
             out,

@@ -217,7 +217,7 @@ fn compute_taint(st: &SolverState<'_>, fx: &DeltaEffects) -> Result<TaintSet, ()
             // PFG successors (the group at an uncollapsed representative
             // holds exactly its own outgoing original-endpoint pairs).
             if let Some(pairs) = st.slots.edge_pairs(p) {
-                let dsts: Vec<u32> = pairs.iter().map(|&(_, d)| d).collect();
+                let dsts: Vec<u32> = pairs.iter().map(|(_, d)| d).collect();
                 for d in dsts {
                     w.push_ptr(st, d);
                 }
@@ -402,13 +402,22 @@ impl<'p> SolverState<'p> {
             let Some(mut pairs) = self.slots.take_edge_pairs(r) else {
                 continue;
             };
-            let before = pairs.len();
-            pairs.retain(|&(_, d)| !taint.ptrs.contains(&d));
-            if pairs.len() != before {
-                removed_edges += (before - pairs.len()) as u64;
-                self.slots
-                    .succ_mut(r)
-                    .retain(|&(t, _)| !taint.ptrs.contains(&t.0));
+            let dead: Vec<(u32, u32)> = pairs
+                .iter()
+                .filter(|&(_, d)| taint.ptrs.contains(&d))
+                .collect();
+            if !dead.is_empty() {
+                for &(s, d) in &dead {
+                    pairs.remove(s, d);
+                }
+                removed_edges += dead.len() as u64;
+                let kept: Vec<_> = self
+                    .slots
+                    .take_succ(r)
+                    .into_iter()
+                    .filter(|&(t, _)| !taint.ptrs.contains(&t.0))
+                    .collect();
+                self.slots.put_succ(r, kept);
             }
             self.slots.put_edge_pairs(r, pairs);
         }

@@ -45,6 +45,7 @@ pub mod clients;
 pub mod context;
 pub mod csc;
 pub mod fx;
+pub mod mem;
 pub mod pts;
 pub mod results;
 pub mod scc;
@@ -53,6 +54,7 @@ pub mod table;
 pub mod zipper;
 
 mod analyses;
+mod arena;
 mod pool;
 mod shard;
 mod steal;
@@ -67,7 +69,8 @@ pub use context::{
     ObjSelector, SelectiveSelector, TypeSelector,
 };
 pub use csc::{pattern_methods, rebase_compatible, CscConfig, CscStats, CutShortcut};
-pub use pts::PointsToSet;
+pub use mem::peak_rss_kb;
+pub use pts::{PointsToSet, PtsRepr};
 pub use results::{
     load_result, result_cache_dir, result_cache_enabled, result_cache_key, store_result,
     SolvedSummary,

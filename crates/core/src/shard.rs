@@ -49,8 +49,9 @@ use std::sync::Arc;
 
 use csc_ir::{CallKind, CallSiteId, ClassId, FieldId, LoadId, ObjId, Program, StoreId, VarId};
 
+use crate::arena::{PairSet, SuccTable};
 use crate::context::CtxId;
-use crate::fx::{FxHashMap, FxHashSet};
+use crate::fx::FxHashMap;
 use crate::pts::PointsToSet;
 use crate::scc::UnionFind;
 use crate::solver::{CsObjId, DiscoverCtx, EdgeKind, Plugin, PtrId, PtrKey, Reaction, ABSENT};
@@ -71,9 +72,11 @@ pub(crate) struct Shard {
     pub(crate) pts: Vec<PointsToSet>,
     /// Batched worklist accumulators, paired 1:1 with `pts`.
     pub(crate) pending: Vec<PointsToSet>,
-    /// Successors with an optional cast filter, paired 1:1 with `pts`
-    /// (rows live at SCC representatives; see `SolverState::add_edge`).
-    pub(crate) succ: Vec<Vec<(PtrId, Option<ClassId>)>>,
+    /// Successor edges with optional cast filters, rows paired 1:1 with
+    /// `pts` (rows live at SCC representatives; see
+    /// `SolverState::add_edge`). Arena-backed: all rows share one segment
+    /// pool instead of one `Vec` allocation per source.
+    pub(crate) succ: SuccTable,
     /// Per-representative *logical* PFG edge sets, keyed by original
     /// `(src, dst)` endpoints and grouped under the source's current
     /// representative (deduplication + `has_edge`; identical with
@@ -82,7 +85,17 @@ pub(crate) struct Shard {
     /// also owns its dedup set, so worker-side edge commits stay
     /// shard-local. Condensation epochs migrate groups when
     /// representatives merge.
-    pub(crate) edge_pairs: FxHashMap<u32, FxHashSet<(u32, u32)>>,
+    pub(crate) edge_pairs: FxHashMap<u32, PairSet>,
+}
+
+impl Shard {
+    /// Heap bytes of this shard's edge storage (successor arena plus the
+    /// dedup pair sets).
+    pub(crate) fn edge_bytes(&self) -> u64 {
+        self.succ.bytes()
+            + (self.edge_pairs.capacity() * std::mem::size_of::<(u32, PairSet)>()) as u64
+            + self.edge_pairs.values().map(PairSet::bytes).sum::<u64>()
+    }
 }
 
 /// A per-slot physical placement, installed by topology-aware routing
@@ -173,7 +186,7 @@ impl ShardedSlots {
         }
         shard.pts.push(PointsToSet::new());
         shard.pending.push(PointsToSet::new());
-        shard.succ.push(Vec::new());
+        shard.succ.push_row();
         self.len += 1;
     }
 
@@ -224,7 +237,7 @@ impl ShardedSlots {
                     let l = shard.pts.len();
                     shard.pts.push(PointsToSet::new());
                     shard.pending.push(PointsToSet::new());
-                    shard.succ.push(Vec::new());
+                    shard.succ.push_row();
                     l
                 };
                 route.shard.push(w as u32);
@@ -239,7 +252,7 @@ impl ShardedSlots {
                 debug_assert!(shard.pts.len() <= target);
                 shard.pts.resize_with(target, PointsToSet::new);
                 shard.pending.resize_with(target, PointsToSet::new);
-                shard.succ.resize_with(target, Vec::new);
+                shard.succ.resize_rows(target);
             }
         }
         self.len = new_len;
@@ -276,7 +289,10 @@ impl ShardedSlots {
                 .push(u32::try_from(shard.pts.len()).expect("row index fits u32"));
             shard.pts.push(std::mem::take(&mut old[os].pts[ol]));
             shard.pending.push(std::mem::take(&mut old[os].pending[ol]));
-            shard.succ.push(std::mem::take(&mut old[os].succ[ol]));
+            let row = shard.succ.rows();
+            shard.succ.push_row();
+            let migrated = old[os].succ.take_row(ol);
+            shard.succ.extend_row(row, migrated);
         }
         for o in &mut old {
             for (rep, pairs) in o.edge_pairs.drain() {
@@ -333,57 +349,112 @@ impl ShardedSlots {
         *self.pending_mut(i) = set;
     }
 
-    /// Successor list of slot `i` (meaningful at representatives).
+    /// Iterates slot `i`'s successor edges in insertion order.
     #[inline]
-    pub(crate) fn succ(&self, i: u32) -> &Vec<(PtrId, Option<ClassId>)> {
+    pub(crate) fn succ_iter(&self, i: u32) -> impl Iterator<Item = (PtrId, Option<ClassId>)> + '_ {
         let (s, l) = self.loc(i);
-        &self.shards[s].succ[l]
+        self.shards[s].succ.iter_row(l).map(|(d, f)| (PtrId(d), f))
     }
 
-    /// Mutable successor list of slot `i`.
+    /// Appends one successor edge at slot `i`.
     #[inline]
-    pub(crate) fn succ_mut(&mut self, i: u32) -> &mut Vec<(PtrId, Option<ClassId>)> {
+    pub(crate) fn succ_push(&mut self, i: u32, dst: PtrId, filter: Option<ClassId>) {
         let (s, l) = self.loc(i);
-        &mut self.shards[s].succ[l]
+        self.shards[s].succ.push_entry(l, dst.0, filter);
     }
 
-    /// Takes slot `i`'s successor list out, leaving it empty.
+    /// First segment of slot `i`'s successor chain ([`crate::arena::NONE`]
+    /// when empty) — the cursor entry point for walking a row while
+    /// mutating other slots (see [`succ_seg`](Self::succ_seg)).
     #[inline]
+    pub(crate) fn succ_head(&self, i: u32) -> u32 {
+        let (s, l) = self.loc(i);
+        self.shards[s].succ.head(l)
+    }
+
+    /// Fetches one segment of slot `i`'s successor chain *by value*,
+    /// releasing the arena borrow: the hot propagation loop copies 56
+    /// bytes per six edges instead of taking and restoring the row.
+    #[inline]
+    pub(crate) fn succ_seg(&self, i: u32, seg: u32) -> crate::arena::SuccSeg {
+        let (s, _) = self.loc(i);
+        self.shards[s].succ.seg(seg)
+    }
+
+    /// Removes and returns slot `i`'s successor edges (cold paths: SCC
+    /// collapse and reconciliation rebuild rows wholesale).
     pub(crate) fn take_succ(&mut self, i: u32) -> Vec<(PtrId, Option<ClassId>)> {
-        std::mem::take(self.succ_mut(i))
+        let (s, l) = self.loc(i);
+        self.shards[s]
+            .succ
+            .take_row(l)
+            .into_iter()
+            .map(|(d, f)| (PtrId(d), f))
+            .collect()
     }
 
-    /// Restores a taken successor list.
-    #[inline]
+    /// Installs a successor list at slot `i` (the row must be empty — the
+    /// restore half of [`take_succ`](Self::take_succ)).
     pub(crate) fn put_succ(&mut self, i: u32, succ: Vec<(PtrId, Option<ClassId>)>) {
-        *self.succ_mut(i) = succ;
+        let (s, l) = self.loc(i);
+        debug_assert_eq!(self.shards[s].succ.row_len(l), 0);
+        self.shards[s]
+            .succ
+            .extend_row(l, succ.into_iter().map(|(d, f)| (d.0, f)));
+    }
+
+    /// Appends a batch of successor edges at slot `i` (reconciliation
+    /// folds aliased rows onto their canonical slot).
+    pub(crate) fn extend_succ(&mut self, i: u32, succ: Vec<(PtrId, Option<ClassId>)>) {
+        let (s, l) = self.loc(i);
+        self.shards[s]
+            .succ
+            .extend_row(l, succ.into_iter().map(|(d, f)| (d.0, f)));
     }
 
     /// The edge-dedup pair group of representative `rep`, created on
     /// demand.
     #[inline]
-    pub(crate) fn edge_pairs_mut(&mut self, rep: u32) -> &mut FxHashSet<(u32, u32)> {
+    pub(crate) fn edge_pairs_mut(&mut self, rep: u32) -> &mut PairSet {
         let shard = self.shard_of(rep);
         self.shards[shard].edge_pairs.entry(rep).or_default()
     }
 
     /// The edge-dedup pair group of representative `rep`, if any.
     #[inline]
-    pub(crate) fn edge_pairs(&self, rep: u32) -> Option<&FxHashSet<(u32, u32)>> {
+    pub(crate) fn edge_pairs(&self, rep: u32) -> Option<&PairSet> {
         self.shards[self.shard_of(rep)].edge_pairs.get(&rep)
     }
 
     /// Removes and returns `rep`'s pair group (condensation epochs migrate
     /// merged members' groups onto the surviving representative).
-    pub(crate) fn take_edge_pairs(&mut self, rep: u32) -> Option<FxHashSet<(u32, u32)>> {
+    pub(crate) fn take_edge_pairs(&mut self, rep: u32) -> Option<PairSet> {
         let shard = self.shard_of(rep);
         self.shards[shard].edge_pairs.remove(&rep)
     }
 
     /// Installs a pair group at `rep`'s owning shard.
-    pub(crate) fn put_edge_pairs(&mut self, rep: u32, pairs: FxHashSet<(u32, u32)>) {
+    pub(crate) fn put_edge_pairs(&mut self, rep: u32, pairs: PairSet) {
         let shard = self.shard_of(rep);
         self.shards[shard].edge_pairs.insert(rep, pairs);
+    }
+
+    /// Heap bytes of the points-to plane (`pts` + `pending` sets), with
+    /// CoW-shared dense chunks attributed once; also counts the shared
+    /// references deduplicated (see [`crate::mem`]).
+    pub(crate) fn pts_account(&self) -> crate::mem::PtsAccount {
+        let mut acc = crate::mem::PtsAccount::default();
+        for shard in &self.shards {
+            for set in shard.pts.iter().chain(shard.pending.iter()) {
+                set.account(&mut acc);
+            }
+        }
+        acc
+    }
+
+    /// Heap bytes of the PFG edge storage across all shards.
+    pub(crate) fn edge_bytes(&self) -> u64 {
+        self.shards.iter().map(Shard::edge_bytes).sum()
     }
 }
 
@@ -743,7 +814,7 @@ impl StrideInterner<'_> {
         self.next += 1;
         shard.pts.push(PointsToSet::new());
         shard.pending.push(PointsToSet::new());
-        shard.succ.push(Vec::new());
+        shard.succ.push_row();
         self.fresh.push((key, id));
         id
     }
@@ -925,12 +996,12 @@ pub(crate) fn run_worker<P: Plugin>(
         // The successor row lives in this worker's own shard (rows are
         // stored at representatives, and batch representatives are
         // self-owned by construction).
-        for &(t, filter) in &shard.succ[local] {
+        for (t, filter) in shard.succ.iter_row(local) {
             // Stored targets may be stale (merged away); canonicalize like
             // the sequential engine's enqueue does. A target canonicalizing
             // back onto the source is a no-op (the delta is already in the
             // shared set).
-            let trep = shared.reps.find(t.0);
+            let trep = shared.reps.find(t);
             if trep == rep {
                 continue;
             }
@@ -1046,7 +1117,7 @@ pub(crate) fn run_worker<P: Plugin>(
                 }
                 let csrc = shared.reps.find_ext(src);
                 debug_assert_eq!(shared.shard_of(csrc), me as u32);
-                if !shard.edge_pairs.entry(csrc).or_default().insert((src, dst)) {
+                if !shard.edge_pairs.entry(csrc).or_default().insert(src, dst) {
                     continue;
                 }
                 // Pre-round slots resolve through the shared placement;
@@ -1060,7 +1131,7 @@ pub(crate) fn run_worker<P: Plugin>(
                 if csrc != shared.reps.find_ext(dst) {
                     // Worker-committed edges are `[Load]`/`[Store]` copies
                     // — never cast-filtered.
-                    shard.succ[local].push((PtrId(dst), None));
+                    shard.succ.push_entry(local, dst, None);
                     if !shard.pts[local].is_empty() {
                         let payload = flush_cache
                             .entry(csrc)

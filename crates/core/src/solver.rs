@@ -447,6 +447,16 @@ pub struct SolverStats {
     /// Wall-clock seconds of the most recent incremental re-solve
     /// (localized or fallback), excluding delta application itself.
     pub resolve_secs: f64,
+    /// Heap bytes of the points-to plane (`pts` + pending accumulators) at
+    /// solve end, with CoW-shared dense chunks attributed once (see
+    /// [`crate::mem`]).
+    pub pts_bytes: u64,
+    /// Heap bytes of the PFG edge storage (successor arenas + edge-dedup
+    /// pair sets) at solve end.
+    pub edge_bytes: u64,
+    /// Dense-chunk references deduplicated by copy-on-write sharing at
+    /// solve end — each would have cost a 512-byte block unshared.
+    pub shared_chunks: u64,
 }
 
 /// Why an incremental re-solve ([`Solver::resolve`]) abandoned localized
@@ -563,6 +573,15 @@ pub struct SolverOptions {
     /// environment variable (`1`/`on` = on; unset = off, preserving the
     /// fixed `32 × threads` heuristic byte-for-byte).
     pub round_fusion: Option<bool>,
+    /// Large points-to-set representation: chunked hybrid with CoW dense
+    /// blocks (the default) or the PR 1 whole-id-range bitmap, kept
+    /// selectable for A/B comparison. Representation never changes element
+    /// sequences, so projections and propagation counts are identical
+    /// either way (enforced by `differential_pts_repr`). `None` (the
+    /// default) reads the `CSC_PTS_REPR` environment variable at solve
+    /// start (`legacy` = the bitmap, anything else — including unset — =
+    /// chunked); tests pass explicit values.
+    pub pts_repr: Option<crate::pts::PtsRepr>,
 }
 
 impl Default for SolverOptions {
@@ -575,6 +594,7 @@ impl Default for SolverOptions {
             balanced_route: None,
             engine: None,
             round_fusion: None,
+            pts_repr: None,
         }
     }
 }
@@ -670,6 +690,27 @@ impl SolverOptions {
     pub fn resolved_round_fusion(&self) -> bool {
         self.round_fusion.unwrap_or_else(|| {
             std::env::var("CSC_ROUND_FUSION").is_ok_and(|v| v == "1" || v == "on")
+        })
+    }
+
+    /// The same options with an explicit large-set representation
+    /// (bypasses the `CSC_PTS_REPR` environment fallback).
+    pub fn with_pts_repr(self, repr: crate::pts::PtsRepr) -> Self {
+        SolverOptions {
+            pts_repr: Some(repr),
+            ..self
+        }
+    }
+
+    /// The large-set representation these options resolve to (environment
+    /// fallback resolved; chunked is the default).
+    pub fn resolved_pts_repr(&self) -> crate::pts::PtsRepr {
+        self.pts_repr.unwrap_or_else(|| {
+            if std::env::var("CSC_PTS_REPR").is_ok_and(|v| v == "legacy") {
+                crate::pts::PtsRepr::Legacy
+            } else {
+                crate::pts::PtsRepr::Chunked
+            }
         })
     }
 
@@ -790,6 +831,7 @@ pub struct SolverState<'p> {
 impl<'p> SolverState<'p> {
     fn new(program: &'p Program, budget: Budget, opts: SolverOptions) -> Self {
         let nthreads = opts.resolved_threads().max(1);
+        crate::pts::set_default_repr(opts.resolved_pts_repr());
         let stats = SolverStats {
             threads: nthreads as u64,
             ..SolverStats::default()
@@ -1005,7 +1047,7 @@ impl<'p> SolverState<'p> {
             return;
         }
         let csrc = self.reps.find(src.0);
-        if !self.slots.edge_pairs_mut(csrc).insert((src.0, dst.0)) {
+        if !self.slots.edge_pairs_mut(csrc).insert(src.0, dst.0) {
             return;
         }
         let filter = match kind {
@@ -1017,7 +1059,7 @@ impl<'p> SolverState<'p> {
             if filter.is_none() {
                 self.copy_edges_since_collapse += 1;
             }
-            self.slots.succ_mut(csrc).push((dst, filter));
+            self.slots.succ_push(csrc, dst, filter);
             if !self.slots.pts(csrc).is_empty() {
                 match filter {
                     None => {
@@ -1050,12 +1092,23 @@ impl<'p> SolverState<'p> {
     pub fn has_edge(&self, src: PtrId, dst: PtrId) -> bool {
         self.slots
             .edge_pairs(self.reps.find(src.0))
-            .is_some_and(|pairs| pairs.contains(&(src.0, dst.0)))
+            .is_some_and(|pairs| pairs.contains(src.0, dst.0))
     }
 
     /// Injects objects into a pointer's points-to set (via the worklist).
     pub fn add_points_to(&mut self, ptr: PtrId, objs: PointsToSet) {
         self.enqueue(ptr, &objs);
+    }
+
+    /// Stamps the data-plane memory counters (`pts_bytes`, `edge_bytes`,
+    /// `shared_chunks`) from a walk over the slot plane — called once at
+    /// the end of every solve and incremental re-solve, where the numbers
+    /// describe the converged state.
+    fn record_mem_stats(&mut self) {
+        let acc = self.slots.pts_account();
+        self.stats.pts_bytes = acc.bytes;
+        self.stats.shared_chunks = acc.shared_chunks;
+        self.stats.edge_bytes = self.slots.edge_bytes();
     }
 
     /// All call-graph edges onto `callee`, as
@@ -1239,22 +1292,25 @@ impl<'p> SolverState<'p> {
 
         // [Propagate] along PFG edges (respecting cast filters). Unfiltered
         // edges enqueue the delta by reference; only cast edges pay for a
-        // filtered copy. The successor list is taken out and restored
-        // around the loop — nothing inside `enqueue`/`apply_filter` can
-        // reach `succ`, and the split borrow avoids re-indexing (and
-        // historically an O(|succ|) clone) per delta.
-        let succ = self.slots.take_succ(ptr.0);
-        for &(t, filter) in &succ {
-            match filter {
-                None => self.enqueue(t, &delta),
-                Some(class) => {
-                    let out = self.apply_filter(&delta, class);
-                    self.enqueue(t, &out);
+        // filtered copy. The successor row is walked with a segment cursor:
+        // each 56-byte segment is copied out of the arena by value, which
+        // releases the borrow before `enqueue` mutates other slots —
+        // nothing inside `enqueue`/`apply_filter` can append to this row
+        // (the old take/put split borrow asserted the same invariant).
+        let mut seg_idx = self.slots.succ_head(ptr.0);
+        while seg_idx != crate::arena::NONE {
+            let seg = self.slots.succ_seg(ptr.0, seg_idx);
+            for &(t, code) in &seg.entries[..seg.len as usize] {
+                match crate::arena::decode_filter(code) {
+                    None => self.enqueue(PtrId(t), &delta),
+                    Some(class) => {
+                        let out = self.apply_filter(&delta, class);
+                        self.enqueue(PtrId(t), &out);
+                    }
                 }
             }
+            seg_idx = seg.next;
         }
-        debug_assert!(self.slots.succ(ptr.0).is_empty());
-        self.slots.put_succ(ptr.0, succ);
 
         self.fan_out(selector, plugin, ptr, delta);
         true
@@ -1427,7 +1483,7 @@ impl<'p> SolverState<'p> {
                 continue;
             }
             let mut out: Vec<u32> = Vec::new();
-            for &(t, filter) in self.slots.succ(u) {
+            for (t, filter) in self.slots.succ_iter(u) {
                 if filter.is_none() {
                     let c = self.reps.find(t.0);
                     if c != u {
@@ -1507,7 +1563,7 @@ impl<'p> SolverState<'p> {
                     if pairs.is_empty() {
                         pairs = p;
                     } else {
-                        pairs.extend(p);
+                        pairs.merge(&p);
                     }
                 }
             }
@@ -1533,27 +1589,30 @@ impl<'p> SolverState<'p> {
         self.reps.flatten();
 
         // Replay pass 1: flush the unified sets along the rebuilt edges.
-        // Both the successor list and the set are taken out and restored
-        // around the loop (`enqueue` can reach neither), instead of paying
-        // an O(|succ|) clone per collapsed representative.
+        // The set is taken out and restored around the loop and the
+        // successor row walked by segment cursor (`enqueue` can reach
+        // neither), instead of paying an O(|succ|) clone per collapsed
+        // representative.
         for rep in flush_reps {
             if self.slots.pts(rep).is_empty() {
                 continue;
             }
-            let succ = self.slots.take_succ(rep);
             let pts = self.slots.take_pts(rep);
-            for &(t, filter) in &succ {
-                match filter {
-                    None => self.enqueue(t, &pts),
-                    Some(class) => {
-                        let out = self.apply_filter(&pts, class);
-                        self.enqueue(t, &out);
+            let mut seg_idx = self.slots.succ_head(rep);
+            while seg_idx != crate::arena::NONE {
+                let seg = self.slots.succ_seg(rep, seg_idx);
+                for &(t, code) in &seg.entries[..seg.len as usize] {
+                    match crate::arena::decode_filter(code) {
+                        None => self.enqueue(PtrId(t), &pts),
+                        Some(class) => {
+                            let out = self.apply_filter(&pts, class);
+                            self.enqueue(PtrId(t), &out);
+                        }
                     }
                 }
+                seg_idx = seg.next;
             }
             self.slots.put_pts(rep, pts);
-            debug_assert!(self.slots.succ(rep).is_empty());
-            self.slots.put_succ(rep, succ);
         }
         // Replay pass 2: per-member catch-up for elements a member had not
         // seen before its set was unified.
@@ -2170,14 +2229,14 @@ impl<'p> SolverState<'p> {
                     };
                     let succ = self.slots.take_succ(id);
                     if !succ.is_empty() {
-                        self.slots.succ_mut(canon).extend(succ);
+                        self.slots.extend_succ(canon, succ);
                     }
                     if let Some(pairs) = self.slots.take_edge_pairs(id) {
                         let group = self.slots.edge_pairs_mut(canon);
                         if group.is_empty() {
                             *group = pairs;
                         } else {
-                            group.extend(pairs);
+                            group.merge(&pairs);
                         }
                     }
                 }
@@ -2192,8 +2251,8 @@ impl<'p> SolverState<'p> {
                 if (asrc, adst) != (src, dst) {
                     let csrc = self.reps.find(asrc);
                     let group = self.slots.edge_pairs_mut(csrc);
-                    group.remove(&(src, dst));
-                    if asrc == adst || !group.insert((asrc, adst)) {
+                    group.remove(src, dst);
+                    if asrc == adst || !group.insert(asrc, adst) {
                         continue;
                     }
                 }
@@ -2485,6 +2544,7 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
         // The Amdahl split: everything that is not a parallel phase is
         // coordinator time (on the sequential engine, the whole solve).
         state.stats.coordinator_secs = (elapsed.as_secs_f64() - state.stats.parallel_secs).max(0.0);
+        state.record_mem_stats();
         (
             PtaResult {
                 state,

@@ -525,10 +525,10 @@ fn process_rep<P: Plugin>(
     };
     sh.propagations += 1;
     let delta = Arc::new(delta);
-    for &(t, filter) in &sh.shard.succ[local] {
+    for (t, filter) in sh.shard.succ.iter_row(local) {
         // Stored targets may be stale (merged away); canonicalize like the
         // sequential engine's enqueue does.
-        let trep = shared.reps.find(t.0);
+        let trep = shared.reps.find(t);
         if trep == rep {
             continue;
         }

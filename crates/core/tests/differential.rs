@@ -350,6 +350,111 @@ fn differential_parallel_full_suite() {
     }
 }
 
+/// Runs one (program, analysis) pair under both points-to
+/// representations (the chunked hybrid vs the legacy whole-range
+/// bitmap) across engines and thread counts, asserting bit-identical
+/// projections against a sequential chunked reference. The
+/// representation is a pure data-plane swap — same elements, different
+/// layout — so *every* projection must survive the flip exactly. The
+/// mode is pinned through [`SolverOptions::with_pts_repr`], race-free
+/// under parallel test execution up to the process-global promotion
+/// knob (which any concurrent solve re-pins at its own start; a
+/// mid-solve flip only changes which layout new sets promote into,
+/// never their contents — that is what this leg proves).
+fn differential_repr(
+    program: &Program,
+    analysis: Analysis,
+    base_opts: SolverOptions,
+    threads: &[usize],
+    what: &str,
+) {
+    use csc_core::PtsRepr;
+    let reference = run_analysis_opts(
+        program,
+        analysis.clone(),
+        Budget::unlimited(),
+        base_opts.with_threads(1).with_pts_repr(PtsRepr::Chunked),
+    );
+    assert!(
+        reference.completed(),
+        "{what}: chunked reference hit budget"
+    );
+    let p_ref = Projections::capture(program, &reference.result);
+    for repr in [PtsRepr::Legacy, PtsRepr::Chunked] {
+        for &t in threads {
+            let engines: &[Engine] = if t <= 1 {
+                &[Engine::Bsp] // below two threads both engines are the sequential path
+            } else {
+                &[Engine::Bsp, Engine::Async]
+            };
+            for &engine in engines {
+                if repr == PtsRepr::Chunked && t <= 1 {
+                    continue; // that run *is* the reference
+                }
+                let run = run_analysis_opts(
+                    program,
+                    analysis.clone(),
+                    Budget::unlimited(),
+                    base_opts
+                        .with_threads(t)
+                        .with_engine(engine)
+                        .with_pts_repr(repr),
+                );
+                assert!(
+                    run.completed(),
+                    "{what}: {repr:?} ({t} threads, {engine:?}) run hit budget"
+                );
+                let p = Projections::capture(program, &run.result);
+                p.assert_identical(
+                    &p_ref,
+                    program,
+                    &format!("{what} [{repr:?}, threads={t}, engine={engine:?} vs chunked seq]"),
+                );
+            }
+        }
+    }
+}
+
+/// The chunked points-to representation against the legacy bitmap on the
+/// small suite: repr × four configurations × {1, 4} threads × both
+/// parallel engines, with the aggressive epoch so CoW-shared chunks live
+/// through SCC merges and row migrations.
+#[test]
+fn differential_pts_repr() {
+    for name in ["hsqldb", "findbugs", "jython"] {
+        let program = csc_workloads::compiled(name).unwrap();
+        for (label, analysis) in configurations() {
+            differential_repr(
+                program,
+                analysis,
+                SolverOptions::with_epoch(32),
+                &[1, 4],
+                &format!("{name}/{label} (pts-repr, epoch=32)"),
+            );
+        }
+    }
+}
+
+/// The full ten-program suite × four configurations across both
+/// representations under the production epoch. Ignored for the same
+/// reason as [`differential_full_suite`]; CI runs it in release mode.
+#[test]
+#[ignore = "full suite x 4 configs x 2 reprs; run in release mode (see doc comment)"]
+fn differential_pts_repr_full_suite() {
+    for bench in csc_workloads::suite() {
+        let program = csc_workloads::compiled(bench.name).unwrap();
+        for (label, analysis) in configurations() {
+            differential_repr(
+                program,
+                analysis,
+                SolverOptions::default(),
+                &[1, 4],
+                &format!("{}/{label} (pts-repr)", bench.name),
+            );
+        }
+    }
+}
+
 /// Collapsing must also commute with the per-pattern ablations (the Doop
 /// configuration exercises the relay rule hardest).
 #[test]

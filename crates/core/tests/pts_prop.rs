@@ -1,0 +1,227 @@
+//! Property tests for the points-to set representations.
+//!
+//! The chunked hybrid set (PR 9) replaces the whole-range bitmap behind
+//! the same [`csc_core::PointsToSet`] API, and the solver flips between
+//! the two via a process-global mode knob — so every observable must be
+//! representation-independent:
+//!
+//! * arbitrary interleavings of `insert` / `union_with` / `union_delta` /
+//!   `is_subset` / `intersects` must agree with a `BTreeSet` reference,
+//!   under both representations, including the `union_delta` contract
+//!   (the returned delta is *exactly* the genuinely-new elements, and
+//!   `None` means no growth);
+//! * iteration is ascending and duplicate-free regardless of which
+//!   chunks are sparse, dense, or CoW-shared;
+//! * copy-on-write chunk sharing is invisible: after a clone or an
+//!   absorbing union aliases dense blocks between two sets, mutating
+//!   either set never perturbs the other.
+//!
+//! The representation mode is a process-global (the solver sets it once
+//! per solve), so tests that pin a representation serialize on a lock —
+//! integration-test functions in one binary run on concurrent threads.
+
+use csc_core::pts::set_default_repr;
+use csc_core::{PointsToSet, PtsRepr};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Serializes tests that pin the process-global representation mode.
+static REPR_LOCK: Mutex<()> = Mutex::new(());
+
+/// Element domain: mostly ids inside one or two chunks (the hot case),
+/// with a scattered tail across a 2²⁰ universe so multi-chunk paths,
+/// promotion, and inter-chunk boundaries all get exercised.
+fn elem() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        4 => 0u32..300,
+        3 => 3_900u32..4_400,   // straddles the first chunk boundary
+        2 => 0u32..20_000,
+        1 => 0u32..(1 << 20),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32),
+    UnionWith(Vec<u32>),
+    UnionDelta(Vec<u32>),
+    IsSubset(Vec<u32>),
+    Intersects(Vec<u32>),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => elem().prop_map(Op::Insert),
+        2 => proptest::collection::vec(elem(), 0..200).prop_map(Op::UnionWith),
+        2 => proptest::collection::vec(elem(), 0..200).prop_map(Op::UnionDelta),
+        1 => proptest::collection::vec(elem(), 0..60).prop_map(Op::IsSubset),
+        1 => proptest::collection::vec(elem(), 0..60).prop_map(Op::Intersects),
+    ]
+}
+
+fn set_of(elems: &[u32]) -> PointsToSet {
+    elems.iter().copied().collect()
+}
+
+/// Runs one op stream against both the set under test and a `BTreeSet`
+/// reference, checking every observable after every op.
+fn check_against_reference(ops: &[Op]) {
+    let mut s = PointsToSet::new();
+    let mut r: BTreeSet<u32> = BTreeSet::new();
+    for op in ops {
+        match op {
+            Op::Insert(e) => {
+                prop_assert_eq!(s.insert(*e), r.insert(*e), "insert({}) novelty", e);
+            }
+            Op::UnionWith(elems) => {
+                let grew = s.union_with(&set_of(elems));
+                let before = r.len();
+                r.extend(elems.iter().copied());
+                prop_assert_eq!(grew, r.len() > before, "union_with growth flag");
+            }
+            Op::UnionDelta(elems) => {
+                let delta = s.union_delta(&set_of(elems));
+                let expect: BTreeSet<u32> =
+                    elems.iter().copied().filter(|e| !r.contains(e)).collect();
+                r.extend(elems.iter().copied());
+                match delta {
+                    None => prop_assert!(expect.is_empty(), "None delta but {:?} new", expect),
+                    Some(d) => {
+                        let got: Vec<u32> = d.iter().collect();
+                        let want: Vec<u32> = expect.into_iter().collect();
+                        prop_assert_eq!(got, want, "union_delta contents");
+                    }
+                }
+            }
+            Op::IsSubset(elems) => {
+                let probe = set_of(elems);
+                let probe_r: BTreeSet<u32> = elems.iter().copied().collect();
+                prop_assert_eq!(probe.is_subset(&s), probe_r.is_subset(&r), "is_subset");
+                let r_probe: BTreeSet<u32> = probe.iter().collect();
+                prop_assert_eq!(
+                    s.is_subset(&probe),
+                    r.is_subset(&r_probe),
+                    "is_subset reversed"
+                );
+            }
+            Op::Intersects(elems) => {
+                let probe = set_of(elems);
+                let probe_r: BTreeSet<u32> = elems.iter().copied().collect();
+                prop_assert_eq!(s.intersects(&probe), !r.is_disjoint(&probe_r), "intersects");
+            }
+        }
+        prop_assert_eq!(s.len(), r.len(), "len after {:?}", op);
+        // Ascending, duplicate-free, element-identical iteration.
+        let got: Vec<u32> = s.iter().collect();
+        let want: Vec<u32> = r.iter().copied().collect();
+        prop_assert_eq!(got, want, "iteration order/content after {:?}", op);
+        for &e in r.iter().take(8) {
+            prop_assert!(s.contains(e), "contains({}) after {:?}", e, op);
+        }
+    }
+}
+
+proptest! {
+    /// Differential: the full op algebra agrees with `BTreeSet` under the
+    /// chunked representation.
+    #[test]
+    fn chunked_matches_btreeset(ops in proptest::collection::vec(op(), 0..30)) {
+        let _g = REPR_LOCK.lock().unwrap();
+        set_default_repr(PtsRepr::Chunked);
+        check_against_reference(&ops);
+    }
+
+    /// Differential: the same algebra agrees under the legacy whole-range
+    /// bitmap, so the `CSC_PTS_REPR=legacy` escape hatch is a real A/B.
+    #[test]
+    fn legacy_matches_btreeset(ops in proptest::collection::vec(op(), 0..30)) {
+        let _g = REPR_LOCK.lock().unwrap();
+        set_default_repr(PtsRepr::Legacy);
+        check_against_reference(&ops);
+        set_default_repr(PtsRepr::Chunked);
+    }
+
+    /// CoW aliasing safety: clone a set (sharing every dense chunk block),
+    /// then mutate both sides independently — neither may observe the
+    /// other's writes, and both must equal their references.
+    #[test]
+    fn cow_clone_isolates_mutations(
+        base in proptest::collection::vec(elem(), 0..600),
+        left in proptest::collection::vec(elem(), 0..200),
+        right in proptest::collection::vec(elem(), 0..200),
+    ) {
+        let _g = REPR_LOCK.lock().unwrap();
+        set_default_repr(PtsRepr::Chunked);
+        let a = set_of(&base);
+        let mut b = a.clone();
+        let mut a = a;
+        for &e in &left {
+            a.insert(e);
+        }
+        b.union_with(&set_of(&right));
+
+        let mut ra: BTreeSet<u32> = base.iter().copied().collect();
+        let mut rb = ra.clone();
+        ra.extend(left.iter().copied());
+        rb.extend(right.iter().copied());
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), ra.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(b.iter().collect::<Vec<_>>(), rb.into_iter().collect::<Vec<_>>());
+    }
+
+    /// CoW absorption safety: `union_with` into an empty (or smaller) set
+    /// shares the source's chunk blocks; the source must stay intact when
+    /// the destination keeps growing, and vice versa.
+    #[test]
+    fn cow_union_sharing_isolates_mutations(
+        src in proptest::collection::vec(elem(), 0..600),
+        grow_dst in proptest::collection::vec(elem(), 0..200),
+        grow_src in proptest::collection::vec(elem(), 0..200),
+    ) {
+        let _g = REPR_LOCK.lock().unwrap();
+        set_default_repr(PtsRepr::Chunked);
+        let mut source = set_of(&src);
+        let mut dst = PointsToSet::new();
+        dst.union_with(&source);
+
+        for &e in &grow_dst {
+            dst.insert(e);
+        }
+        source.union_with(&set_of(&grow_src));
+
+        let mut rd: BTreeSet<u32> = src.iter().copied().collect();
+        let mut rs = rd.clone();
+        rd.extend(grow_dst.iter().copied());
+        rs.extend(grow_src.iter().copied());
+        prop_assert_eq!(dst.iter().collect::<Vec<_>>(), rd.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(source.iter().collect::<Vec<_>>(), rs.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Mode flips only steer *new* promotions: sets built under one
+    /// representation keep working (and agreeing with the reference) when
+    /// unioned with sets built under the other — exactly what happens when
+    /// a process solves twice with different `CSC_PTS_REPR` settings.
+    #[test]
+    fn mixed_representation_unions_agree(
+        a in proptest::collection::vec(elem(), 0..400),
+        b in proptest::collection::vec(elem(), 0..400),
+    ) {
+        let _g = REPR_LOCK.lock().unwrap();
+        set_default_repr(PtsRepr::Legacy);
+        let legacy = set_of(&a);
+        set_default_repr(PtsRepr::Chunked);
+        let chunked = set_of(&b);
+
+        let mut union_lc = legacy.clone();
+        union_lc.union_with(&chunked);
+        let mut union_cl = chunked.clone();
+        union_cl.union_with(&legacy);
+
+        let expect: BTreeSet<u32> = a.iter().chain(b.iter()).copied().collect();
+        let want: Vec<u32> = expect.into_iter().collect();
+        prop_assert_eq!(union_lc.iter().collect::<Vec<_>>(), want.clone());
+        prop_assert_eq!(union_cl.iter().collect::<Vec<_>>(), want);
+        prop_assert!(legacy.is_subset(&union_cl));
+        prop_assert!(chunked.is_subset(&union_lc));
+    }
+}

@@ -173,6 +173,43 @@ pub mod strategy {
         }
     }
 
+    /// One weighted arm of a [`Union`]: `(weight, sampler)`.
+    pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+    /// Weighted union of same-valued strategies (built by
+    /// [`crate::prop_oneof!`]). Arms are stored as boxed sampling
+    /// closures because `Strategy` itself is not object-safe
+    /// (`prop_map` is generic).
+    pub struct Union<V> {
+        arms: Vec<UnionArm<V>>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, sampler)` arms.
+        pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+            let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, f) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return f(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
     /// The strategy returned by [`crate::arbitrary::any`].
     pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -296,7 +333,30 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => a, 1 => b]` samples `a` three times as often as `b`;
+/// weights default to 1 when omitted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(
+            {
+                let s = $strat;
+                (
+                    $weight,
+                    Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::sample(&s, rng)
+                    }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>,
+                )
+            }
+        ),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1u32 => $strat),+]
+    };
 }
 
 /// `assert!` under a name the upstream API exposes (no shrinking here, so
@@ -374,6 +434,11 @@ mod tests {
         #[test]
         fn prop_map_applies(s in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
             prop_assert!(s < 19);
+        }
+
+        #[test]
+        fn oneof_respects_arms(x in prop_oneof![2 => 0u32..10, 1 => 100u32..110]) {
+            prop_assert!(x < 10 || (100u32..110).contains(&x));
         }
     }
 
