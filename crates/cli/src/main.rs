@@ -11,6 +11,8 @@
 //! csc resolve <file.mj|name>       # incremental re-solve across deltas
 //!             [--delta <d.bin>]... [--gen-deltas <n>] [--seed <s>]
 //!             [--analysis ...] [--threads ...] [--metrics]
+//! csc serve   [--analysis ...] [--threads <n>] [--engine async|bsp]
+//!             [--budget-ms <ms>]   # resident line-delimited JSON daemon
 //! ```
 //!
 //! `resolve` applies a sequence of program deltas (binary
@@ -29,6 +31,13 @@
 //! with `n` workers — the async work-stealing engine by default,
 //! `--engine bsp` (or `CSC_ENGINE=bsp`) for the bulk-synchronous rounds.
 //! Projected results are identical for every thread count and engine.
+//!
+//! `serve` starts the resident analysis daemon: a long-lived loop over a
+//! line-delimited JSON protocol on stdin/stdout with per-request budgets,
+//! request-scoped panic isolation, and graceful degradation to the
+//! last-good snapshot. See [`serve`] for the protocol.
+
+mod serve;
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -47,7 +56,8 @@ fn usage() -> ExitCode {
          [--metrics]\n  csc dump-ir <file.mj>\n  \
          csc run <file.mj>\n  csc bench <name> [--analysis ...]\n  csc suite\n  \
          csc resolve <file.mj|name> [--delta <d.bin>]... [--gen-deltas <n>] [--seed <s>] \
-         [--analysis ...] [--threads <n>] [--metrics]"
+         [--analysis ...] [--threads <n>] [--metrics]\n  \
+         csc serve [--analysis ...] [--threads <n>] [--engine async|bsp] [--budget-ms <ms>]"
     );
     ExitCode::from(2)
 }
@@ -79,7 +89,7 @@ fn analyze(
     engine_choice: Option<Engine>,
     pt_query: Option<&str>,
     metrics: bool,
-) {
+) -> ExitCode {
     let label = analysis.label().to_owned();
     let mut opts = SolverOptions::default().with_threads(threads);
     if let Some(e) = engine_choice {
@@ -87,8 +97,8 @@ fn analyze(
     }
     let outcome = run_analysis_opts(program, analysis, budget, opts);
     if !outcome.completed() {
-        println!("{label}: budget exhausted after {:?}", outcome.total_time);
-        return;
+        report_incomplete(&label, &outcome);
+        return ExitCode::FAILURE;
     }
     let stats = &outcome.result.state.stats;
     let engine = if stats.threads > 1 {
@@ -152,11 +162,11 @@ fn analyze(
         let parts: Vec<&str> = q.split('.').collect();
         let [class, method, var] = parts[..] else {
             eprintln!("  --pt expects Class.method.var");
-            return;
+            return ExitCode::FAILURE;
         };
         let Some(m) = program.method_by_qualified_name(&format!("{class}.{method}")) else {
             eprintln!("  unknown method {class}.{method}");
-            return;
+            return ExitCode::FAILURE;
         };
         let Some(v) = program
             .method(m)
@@ -166,7 +176,7 @@ fn analyze(
             .find(|&v| program.var(v).name() == var)
         else {
             eprintln!("  unknown variable {var} in {class}.{method}");
-            return;
+            return ExitCode::FAILURE;
         };
         let mut pt: Vec<String> = outcome
             .result
@@ -183,6 +193,17 @@ fn analyze(
             .collect();
         pt.sort();
         println!("  pt({q}) = {pt:#?}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints why an incomplete solve stopped: a typed failure (poisoned
+/// state or an injected fault) when one is recorded, budget exhaustion
+/// otherwise.
+fn report_incomplete(label: &str, outcome: &csc_core::AnalysisOutcome<'_>) {
+    match &outcome.result.error {
+        Some(e) => println!("{label}: solve failed after {:?}: {e}", outcome.total_time),
+        None => println!("{label}: budget exhausted after {:?}", outcome.total_time),
     }
 }
 
@@ -288,7 +309,7 @@ fn resolve_cmd(
     // Cold path: solve the base once, then fold each delta incrementally.
     let mut outcome = run_analysis_opts(&programs[0], analysis.clone(), budget, opts);
     if !outcome.completed() {
-        println!("{label}: budget exhausted after {:?}", outcome.total_time);
+        report_incomplete(&label, &outcome);
         return ExitCode::FAILURE;
     }
     println!("{label}: base solve completed in {:?}", outcome.total_time);
@@ -302,7 +323,10 @@ fn resolve_cmd(
             opts,
         );
         if !outcome.completed() {
-            println!("{label}: budget exhausted at delta {i}");
+            match &outcome.result.error {
+                Some(e) => println!("{label}: solve failed at delta {i}: {e}"),
+                None => println!("{label}: budget exhausted at delta {i}"),
+            }
             return ExitCode::FAILURE;
         }
         let stats = &outcome.result.state.stats;
@@ -356,6 +380,8 @@ fn main() -> ExitCode {
     // (then the async default) inside the solver.
     let mut engine_choice: Option<Engine> = None;
     let mut pt_query: Option<String> = None;
+    // Default per-request wall-clock budget for `serve` (milliseconds).
+    let mut budget_ms: Option<u64> = None;
     let mut metrics = false;
     let mut delta_files: Vec<String> = Vec::new();
     let mut gen_deltas: usize = 0;
@@ -399,6 +425,13 @@ fn main() -> ExitCode {
                     Err(_) => return usage(),
                 }
             }
+            "--budget-ms" => {
+                let Some(v) = it.next() else { return usage() };
+                match v.parse::<u64>() {
+                    Ok(ms) => budget_ms = Some(ms),
+                    Err(_) => return usage(),
+                }
+            }
             "--pt" => {
                 let Some(v) = it.next() else { return usage() };
                 pt_query = Some(v.clone());
@@ -432,18 +465,15 @@ fn main() -> ExitCode {
                 return usage();
             };
             match load(path) {
-                Ok(program) => {
-                    analyze(
-                        &program,
-                        analysis,
-                        budget,
-                        threads,
-                        engine_choice,
-                        pt_query.as_deref(),
-                        metrics,
-                    );
-                    ExitCode::SUCCESS
-                }
+                Ok(program) => analyze(
+                    &program,
+                    analysis,
+                    budget,
+                    threads,
+                    engine_choice,
+                    pt_query.as_deref(),
+                    metrics,
+                ),
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE
@@ -506,8 +536,7 @@ fn main() -> ExitCode {
                         engine_choice,
                         pt_query.as_deref(),
                         metrics,
-                    );
-                    ExitCode::SUCCESS
+                    )
                 }
                 None => {
                     eprintln!("unknown benchmark `{name}` (try `csc suite`)");
@@ -553,6 +582,7 @@ fn main() -> ExitCode {
                 seed,
             )
         }
+        "serve" => serve::Server::new(analysis, threads, engine_choice, budget_ms).run(),
         "suite" => {
             for b in csc_workloads::suite() {
                 let program = b.compile();

@@ -1,0 +1,758 @@
+//! `csc serve` — the resident analysis daemon (the "daemon half" of
+//! analysis-as-a-service).
+//!
+//! A long-lived loop over a line-delimited JSON protocol on stdin/stdout:
+//! one request object per line in, one reply object per line out. The
+//! daemon holds a solved session resident — the program, the full solver
+//! outcome (for incremental re-solves), and a published [`SolvedSummary`]
+//! snapshot (for queries) — and is built on the typed failure plane:
+//!
+//! * **Per-request budgets.** `load` and `resolve` accept `budget_ms`
+//!   (or inherit the `--budget-ms` default); budget exhaustion is a
+//!   degraded reply, not a dead daemon.
+//! * **Graceful degradation.** `resolve` is transactional: a timed-out,
+//!   poisoned, or panicked re-solve leaves the resident program and the
+//!   last-good snapshot untouched, answers from that snapshot, and marks
+//!   the session `degraded: true` until a later resolve succeeds.
+//! * **Request-scoped panic isolation.** Every request runs behind a
+//!   panic guard (the solve paths through `run_analysis_guarded` /
+//!   `resolve_analysis_guarded`, the dispatch itself behind one more
+//!   `catch_unwind`), so one bad request cannot take the daemon down.
+//!
+//! ## Protocol
+//!
+//! ```text
+//! {"cmd":"load","bench":"hsqldb"}                // or "path":"f.mj" / "source":"class ..."
+//!     [,"analysis":"ci",...]["threads":2]["engine":"bsp"]["budget_ms":5000]
+//! {"cmd":"resolve","seed":42}                    // seeded synthetic delta, or "delta_file":"d.bin"
+//!     [,"actions":8]["budget_ms":5000]
+//! {"cmd":"query","kind":"points-to","var":"Class.method.var"}
+//! {"cmd":"query","kind":"call-graph"}
+//! {"cmd":"query","kind":"casts"}
+//! {"cmd":"stats"}
+//! {"cmd":"fault","spec":"worker-round:1:panic"}  // or "clear"
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Every reply carries `"ok"` and, once a session exists, `"degraded"`.
+//! Programs are interned with `Box::leak` — the resident session needs
+//! `'static` borrows, and a daemon's working set is the current program
+//! plus one abandoned candidate per failed resolve (reclaimed only at
+//! process exit; bounded in practice by the resolve failure count).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csc_core::{
+    decode_delta_guarded, resolve_analysis_guarded, run_analysis_guarded, Analysis,
+    AnalysisOutcome, Budget, Engine, SolveError, SolvedSummary, SolverOptions,
+};
+use csc_ir::Program;
+
+// ---- minimal JSON (the protocol is flat: string/number/bool values) ----
+
+/// A protocol value: the flat subset of JSON the serve protocol uses.
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Val {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Val::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":v,...}`). Nested containers are
+/// rejected — no request needs them — and any syntax error is reported
+/// with a human-readable message.
+fn parse_object(line: &str) -> Result<BTreeMap<String, Val>, String> {
+    let mut p = Parser {
+        b: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.value()?;
+            map.insert(key, val);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err("expected `,` or `}`".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.next() == Some(c) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}`", c as char))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad \\u escape digit")?;
+                        }
+                        // Surrogates and other invalid scalars degrade to
+                        // the replacement character; the protocol never
+                        // round-trips them.
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err("bad escape".into()),
+                },
+                Some(c) if c < 0x80 => s.push(c as char),
+                Some(c) => {
+                    // Re-assemble UTF-8 multibyte sequences from the raw
+                    // input (the line arrived as valid UTF-8).
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.b.len());
+                    let chunk =
+                        std::str::from_utf8(&self.b[start..end]).map_err(|_| "bad utf-8")?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b't') => self.lit("true", Val::Bool(true)),
+            Some(b'f') => self.lit("false", Val::Bool(false)),
+            Some(b'n') => self.lit("null", Val::Null),
+            Some(b'{') | Some(b'[') => Err("nested containers are not part of the protocol".into()),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Val::Num)
+                    .ok_or_else(|| "bad number".into())
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(&mut self, word: &str, val: Val) -> Result<Val, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            Err(format!("expected `{word}`"))
+        }
+    }
+}
+
+/// Escapes a string for JSON output.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An ordered JSON object under construction.
+#[derive(Default)]
+struct Reply {
+    fields: Vec<(String, String)>,
+}
+
+impl Reply {
+    fn ok(v: bool) -> Self {
+        let mut r = Reply::default();
+        r.push_raw("ok", if v { "true" } else { "false" });
+        r
+    }
+
+    fn err(kind: &str, msg: &str) -> Self {
+        let mut r = Reply::ok(false);
+        r.push_str("kind", kind);
+        r.push_str("error", msg);
+        r
+    }
+
+    fn push_raw(&mut self, k: &str, v: impl Into<String>) -> &mut Self {
+        self.fields.push((k.to_owned(), v.into()));
+        self
+    }
+
+    fn push_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.push_raw(k, format!("\"{}\"", esc(v)))
+    }
+
+    fn push_num(&mut self, k: &str, v: impl Into<u64>) -> &mut Self {
+        self.push_raw(k, v.into().to_string())
+    }
+
+    fn push_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.push_raw(k, if v { "true" } else { "false" })
+    }
+
+    fn push_str_list(&mut self, k: &str, items: &[String]) -> &mut Self {
+        let body: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+        self.push_raw(k, format!("[{}]", body.join(",")))
+    }
+
+    fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", esc(k)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+// ---- the resident session ----
+
+/// The daemon's resident state: the current program, the live solver
+/// outcome (consumed and rebuilt per resolve), and the last-good
+/// published snapshot queries answer from. `snapshot` always describes
+/// `program` — both advance together, only on a fully successful solve.
+struct Session {
+    program: &'static Program,
+    analysis: Analysis,
+    opts: SolverOptions,
+    /// The resident solver state. `None` after a failed resolve consumed
+    /// it — the next resolve then falls back to a from-scratch solve.
+    outcome: Option<AnalysisOutcome<'static>>,
+    /// Last-good published projections; the query plane.
+    snapshot: SolvedSummary,
+    /// True while the snapshot is stale relative to the latest requested
+    /// (but failed) edit; cleared by the next successful resolve.
+    degraded: bool,
+}
+
+/// Counters reported by `stats`.
+#[derive(Default)]
+struct Counters {
+    requests: u64,
+    resolves_ok: u64,
+    resolves_failed: u64,
+    request_panics: u64,
+}
+
+/// The `serve` daemon state and defaults.
+pub struct Server {
+    session: Option<Session>,
+    counters: Counters,
+    default_analysis: Analysis,
+    default_threads: usize,
+    default_engine: Option<Engine>,
+    default_budget_ms: Option<u64>,
+}
+
+/// Classifies a [`SolveError`] into the protocol's error kind.
+fn error_kind(e: &SolveError) -> &'static str {
+    match e {
+        SolveError::Poisoned { .. } => "poisoned",
+        SolveError::Fault { .. } => "fault",
+    }
+}
+
+impl Server {
+    /// Creates a server with the CLI-level defaults.
+    pub fn new(
+        analysis: Analysis,
+        threads: usize,
+        engine: Option<Engine>,
+        budget_ms: Option<u64>,
+    ) -> Self {
+        Server {
+            session: None,
+            counters: Counters::default(),
+            default_analysis: analysis,
+            default_threads: threads,
+            default_engine: engine,
+            default_budget_ms: budget_ms,
+        }
+    }
+
+    /// Runs the request loop until `shutdown` or EOF.
+    pub fn run(mut self) -> ExitCode {
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout().lock();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.counters.requests += 1;
+            let (reply, shutdown) = self.dispatch_guarded(&line);
+            let _ = writeln!(stdout, "{}", reply.render());
+            let _ = stdout.flush();
+            if shutdown {
+                return ExitCode::SUCCESS;
+            }
+        }
+        ExitCode::SUCCESS
+    }
+
+    /// Request-scoped panic isolation: whatever a request does, the loop
+    /// survives and answers. A panic escaping the handler (possible only
+    /// outside the solver's own guards) may have consumed the resident
+    /// outcome mid-flight; the session degrades rather than lies.
+    fn dispatch_guarded(&mut self, line: &str) -> (Reply, bool) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(line))) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.counters.request_panics += 1;
+                let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "request panicked".to_owned()
+                };
+                if let Some(sess) = self.session.as_mut() {
+                    if sess.outcome.is_none() {
+                        sess.degraded = true;
+                    }
+                }
+                (Reply::err("panic", &msg), false)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> (Reply, bool) {
+        let req = match parse_object(line) {
+            Ok(m) => m,
+            Err(e) => return (Reply::err("bad-request", &e), false),
+        };
+        let Some(cmd) = req.get("cmd").and_then(Val::as_str) else {
+            return (Reply::err("bad-request", "missing `cmd`"), false);
+        };
+        match cmd {
+            "load" => (self.load(&req), false),
+            "resolve" => (self.resolve(&req), false),
+            "query" => (self.query(&req), false),
+            "stats" => (self.stats(), false),
+            "fault" => (self.fault(&req), false),
+            "shutdown" => {
+                let mut r = Reply::ok(true);
+                r.push_bool("shutdown", true);
+                (r, true)
+            }
+            other => (
+                Reply::err("bad-request", &format!("unknown cmd `{other}`")),
+                false,
+            ),
+        }
+    }
+
+    /// Per-request budget: `budget_ms` field, else the server default.
+    fn budget_of(&self, req: &BTreeMap<String, Val>) -> Budget {
+        match req
+            .get("budget_ms")
+            .and_then(Val::as_u64)
+            .or(self.default_budget_ms)
+        {
+            Some(ms) => Budget::with_time(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        }
+    }
+
+    fn load(&mut self, req: &BTreeMap<String, Val>) -> Reply {
+        let program = if let Some(name) = req.get("bench").and_then(Val::as_str) {
+            match csc_workloads::by_name(name) {
+                Some(b) => b.compile(),
+                None => return Reply::err("bad-request", &format!("unknown benchmark `{name}`")),
+            }
+        } else if let Some(path) = req.get("path").and_then(Val::as_str) {
+            match crate::load(path) {
+                Ok(p) => p,
+                Err(e) => return Reply::err("load", &e),
+            }
+        } else if let Some(src) = req.get("source").and_then(Val::as_str) {
+            match csc_frontend::compile(src) {
+                Ok(p) => p,
+                Err(e) => return Reply::err("load", &e.to_string()),
+            }
+        } else {
+            return Reply::err("bad-request", "load needs `bench`, `path`, or `source`");
+        };
+        let analysis = match req.get("analysis").and_then(Val::as_str) {
+            Some(s) => match crate::parse_analysis(s) {
+                Some(a) => a,
+                None => return Reply::err("bad-request", &format!("unknown analysis `{s}`")),
+            },
+            None => self.default_analysis.clone(),
+        };
+        let threads = req
+            .get("threads")
+            .and_then(Val::as_u64)
+            .map(|n| n as usize)
+            .unwrap_or(self.default_threads);
+        let mut opts = SolverOptions::default().with_threads(threads);
+        let engine = match req.get("engine").and_then(Val::as_str) {
+            Some("bsp") => Some(Engine::Bsp),
+            Some("async") => Some(Engine::Async),
+            Some(other) => return Reply::err("bad-request", &format!("unknown engine `{other}`")),
+            None => self.default_engine,
+        };
+        if let Some(e) = engine {
+            opts = opts.with_engine(e);
+        }
+        let program: &'static Program = Box::leak(Box::new(program));
+        match run_analysis_guarded(program, analysis.clone(), self.budget_of(req), opts) {
+            Ok(out) if out.completed() => {
+                let snapshot = SolvedSummary::capture(program, &out.result);
+                let mut r = Reply::ok(true);
+                r.push_str("analysis", &out.result.analysis);
+                r.push_num("reachable", snapshot.reachable.len() as u64);
+                r.push_num("call_edges", snapshot.call_edges.len() as u64);
+                r.push_bool("degraded", false);
+                self.session = Some(Session {
+                    program,
+                    analysis,
+                    opts,
+                    outcome: Some(out),
+                    snapshot,
+                    degraded: false,
+                });
+                r
+            }
+            Ok(out) => {
+                // A load that timed out or poisoned publishes nothing:
+                // there is no last-good snapshot of *this* program to
+                // degrade to. Any existing session stays untouched.
+                let kind = match out.solve_error() {
+                    Some(e) => error_kind(e),
+                    None => "timeout",
+                };
+                let msg = out
+                    .solve_error()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "budget exhausted".into());
+                Reply::err(kind, &msg)
+            }
+            Err(e) => Reply::err(error_kind(&e), &e.to_string()),
+        }
+    }
+
+    fn resolve(&mut self, req: &BTreeMap<String, Val>) -> Reply {
+        let budget = self.budget_of(req);
+        let Some(sess) = self.session.as_mut() else {
+            return Reply::err("bad-request", "no session loaded");
+        };
+        // Build the delta against the *resident* program. Resolve is
+        // transactional: nothing below advances the session until the
+        // re-solve fully completes.
+        let delta = if let Some(path) = req.get("delta_file").and_then(Val::as_str) {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => return Reply::err("delta-decode", &format!("cannot read {path}: {e}")),
+            };
+            match decode_delta_guarded(&bytes) {
+                Ok(d) => d,
+                Err(e) => return Reply::err("delta-decode", &e),
+            }
+        } else if let Some(seed) = req.get("seed").and_then(Val::as_u64) {
+            let cfg = csc_workloads::DeltaGenConfig {
+                seed,
+                actions: req
+                    .get("actions")
+                    .and_then(Val::as_u64)
+                    .map(|n| n as usize)
+                    .unwrap_or(8),
+                removals: true,
+            };
+            csc_workloads::generate_delta(sess.program, &cfg)
+        } else {
+            return Reply::err("bad-request", "resolve needs `delta_file` or `seed`");
+        };
+        let (patched, fx) = match delta.apply(sess.program) {
+            Ok(pair) => pair,
+            Err(e) => return Reply::err("delta-apply", &e.to_string()),
+        };
+        let patched: &'static Program = Box::leak(Box::new(patched));
+        // The attempt consumes the resident outcome; a previous failure
+        // left `None`, in which case the candidate is solved from scratch.
+        let attempt = match sess.outcome.take() {
+            Some(prev) => resolve_analysis_guarded(
+                prev,
+                patched,
+                &fx,
+                sess.analysis.clone(),
+                budget,
+                sess.opts,
+            ),
+            None => run_analysis_guarded(patched, sess.analysis.clone(), budget, sess.opts),
+        };
+        match attempt {
+            Ok(out) if out.completed() => {
+                sess.program = patched;
+                sess.snapshot = SolvedSummary::capture(patched, &out.result);
+                sess.degraded = false;
+                let stats = out.result.state.stats;
+                sess.outcome = Some(out);
+                let mut r = Reply::ok(true);
+                r.push_bool("degraded", false);
+                match stats.incr_fallback_reason {
+                    None if stats.incr_resolves > 0 => r.push_str("resolve", "incremental"),
+                    None => r.push_str("resolve", "full"),
+                    Some(reason) => r.push_str("resolve", &format!("fallback:{reason}")),
+                };
+                r.push_num("reachable", sess.snapshot.reachable.len() as u64);
+                r.push_num("call_edges", sess.snapshot.call_edges.len() as u64);
+                self.counters.resolves_ok += 1;
+                r
+            }
+            Ok(out) => {
+                let (kind, msg) = match out.solve_error() {
+                    Some(e) => (error_kind(e), e.to_string()),
+                    None => ("timeout", "budget exhausted".to_owned()),
+                };
+                self.degraded_reply(kind, &msg)
+            }
+            Err(e) => {
+                let (kind, msg) = (error_kind(&e), e.to_string());
+                self.degraded_reply(kind, &msg)
+            }
+        }
+    }
+
+    /// The failed-resolve reply: the session keeps its last-good snapshot
+    /// and answers from it, flagged `degraded: true`; the requested edit
+    /// is dropped (re-send it once the cause is gone).
+    fn degraded_reply(&mut self, kind: &str, msg: &str) -> Reply {
+        self.counters.resolves_failed += 1;
+        let sess = self.session.as_mut().expect("resolve checked the session");
+        sess.degraded = true;
+        let mut r = Reply::ok(true);
+        r.push_bool("degraded", true);
+        r.push_str("kind", kind);
+        r.push_str("error", msg);
+        r.push_num("reachable", sess.snapshot.reachable.len() as u64);
+        r.push_num("call_edges", sess.snapshot.call_edges.len() as u64);
+        r
+    }
+
+    fn query(&mut self, req: &BTreeMap<String, Val>) -> Reply {
+        let Some(sess) = self.session.as_ref() else {
+            return Reply::err("bad-request", "no session loaded");
+        };
+        let kind = req.get("kind").and_then(Val::as_str).unwrap_or("points-to");
+        let mut r = Reply::ok(true);
+        r.push_bool("degraded", sess.degraded);
+        match kind {
+            "points-to" => {
+                let Some(q) = req.get("var").and_then(Val::as_str) else {
+                    return Reply::err("bad-request", "points-to needs `var`");
+                };
+                let parts: Vec<&str> = q.split('.').collect();
+                let [class, method, var] = parts[..] else {
+                    return Reply::err("bad-request", "`var` expects Class.method.var");
+                };
+                let program = sess.program;
+                let Some(m) = program.method_by_qualified_name(&format!("{class}.{method}")) else {
+                    return Reply::err("bad-request", &format!("unknown method {class}.{method}"));
+                };
+                let Some(v) = program
+                    .method(m)
+                    .vars()
+                    .iter()
+                    .copied()
+                    .find(|&v| program.var(v).name() == var)
+                else {
+                    return Reply::err(
+                        "bad-request",
+                        &format!("unknown variable {var} in {class}.{method}"),
+                    );
+                };
+                let mut objs: Vec<String> = sess.snapshot.pts[v.index()]
+                    .iter()
+                    .map(|&o| {
+                        format!(
+                            "{} ({})",
+                            program.obj(o).label(),
+                            program.class(program.obj(o).class()).name()
+                        )
+                    })
+                    .collect();
+                objs.sort();
+                r.push_str("var", q);
+                r.push_str_list("objects", &objs);
+            }
+            "call-graph" => {
+                r.push_num("reachable", sess.snapshot.reachable.len() as u64);
+                r.push_num("edges", sess.snapshot.call_edges.len() as u64);
+            }
+            "casts" => {
+                let m = &sess.snapshot.metrics;
+                r.push_num("fail_casts", m.fail_casts as u64);
+                r.push_num("poly_calls", m.poly_calls as u64);
+            }
+            other => return Reply::err("bad-request", &format!("unknown query kind `{other}`")),
+        }
+        r
+    }
+
+    fn stats(&self) -> Reply {
+        let mut r = Reply::ok(true);
+        r.push_num("requests", self.counters.requests);
+        r.push_num("resolves_ok", self.counters.resolves_ok);
+        r.push_num("resolves_failed", self.counters.resolves_failed);
+        r.push_num("request_panics", self.counters.request_panics);
+        match self.session.as_ref() {
+            Some(sess) => {
+                r.push_bool("loaded", true);
+                r.push_bool("degraded", sess.degraded);
+                r.push_str("analysis", &sess.snapshot.analysis);
+                r.push_num("vars", sess.snapshot.pts.len() as u64);
+                r.push_num("reachable", sess.snapshot.reachable.len() as u64);
+            }
+            None => {
+                r.push_bool("loaded", false);
+            }
+        }
+        r
+    }
+
+    /// Arms (or clears) the deterministic fault-injection schedule — the
+    /// protocol-level hook the chaos and serve integration tests drive.
+    fn fault(&mut self, req: &BTreeMap<String, Val>) -> Reply {
+        let Some(spec) = req.get("spec").and_then(Val::as_str) else {
+            return Reply::err("bad-request", "fault needs `spec`");
+        };
+        match csc_core::fault::arm_spec(spec) {
+            Ok(()) => {
+                let mut r = Reply::ok(true);
+                r.push_str("armed", spec);
+                r
+            }
+            Err(e) => Reply::err("bad-request", &e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let m = parse_object(r#"{"cmd":"load","bench":"hsqldb","threads":2,"fresh":true}"#)
+            .expect("parses");
+        assert_eq!(m["cmd"], Val::Str("load".into()));
+        assert_eq!(m["bench"], Val::Str("hsqldb".into()));
+        assert_eq!(m["threads"].as_u64(), Some(2));
+        assert_eq!(m["fresh"], Val::Bool(true));
+        assert!(parse_object(r#"{"a":{"b":1}}"#).is_err(), "nested rejected");
+        assert!(parse_object(r#"{"a":1} trailing"#).is_err());
+        let esc = parse_object(r#"{"s":"a\"b\\c\ndA"}"#).expect("escapes");
+        assert_eq!(esc["s"], Val::Str("a\"b\\c\ndA".into()));
+    }
+
+    #[test]
+    fn renders_escaped_replies() {
+        let mut r = Reply::ok(true);
+        r.push_str("msg", "a\"b\nc");
+        r.push_num("n", 7u64);
+        r.push_str_list("xs", &["p".into(), "q\"r".into()]);
+        assert_eq!(
+            r.render(),
+            r#"{"ok":true,"msg":"a\"b\nc","n":7,"xs":["p","q\"r"]}"#
+        );
+        // Round-trip: the reply parses back under the same parser.
+        let parsed = parse_object(r#"{"ok":true,"msg":"a\"b\nc","n":7}"#).expect("parses");
+        assert_eq!(parsed["msg"], Val::Str("a\"b\nc".into()));
+    }
+}

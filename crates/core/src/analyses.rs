@@ -12,7 +12,7 @@ use crate::context::{
 use crate::csc::{CscConfig, CscStats, CutShortcut};
 use crate::solver::incr::Resolved;
 use crate::solver::{
-    Budget, FallbackReason, NoPlugin, PtaResult, Solver, SolverOptions, SolverStats,
+    Budget, FallbackReason, NoPlugin, PtaResult, SolveError, Solver, SolverOptions, SolverStats,
 };
 use crate::zipper::{ZipperE, ZipperOptions};
 
@@ -83,6 +83,13 @@ impl AnalysisOutcome<'_> {
     /// Whether the analysis ran to completion within its budget.
     pub fn completed(&self) -> bool {
         self.result.status == crate::solver::SolveStatus::Completed
+    }
+
+    /// The typed failure when the main solve was poisoned (worker panic or
+    /// injected fault on a parallel engine); `None` for completed and
+    /// timed-out solves.
+    pub fn solve_error(&self) -> Option<&SolveError> {
+        self.result.error.as_ref()
     }
 }
 
@@ -501,6 +508,53 @@ fn stamp_fallback(res: &mut PtaResult<'_>, prior: &SolverStats, reason: Fallback
     stats.incr_fallbacks = prior.incr_fallbacks + 1;
     stats.incr_fallback_reason = Some(reason);
     stats.resolve_secs = res.elapsed.as_secs_f64();
+}
+
+/// [`run_analysis_opts`] behind a panic guard: a panic escaping the
+/// sequential engine or the coordinator (including `err`-mode injected
+/// faults, which unwind with the [`crate::fault::InjectedFault`] marker)
+/// is translated into a typed [`SolveError`] instead of aborting the
+/// caller. Worker panics on the parallel engines never reach this guard —
+/// the pool isolates them and the outcome comes back `Ok` with
+/// [`crate::solver::SolveStatus::Poisoned`] and [`PtaResult::error`] set;
+/// use [`AnalysisOutcome::solve_error`] to observe both shapes uniformly.
+pub fn run_analysis_guarded<'p>(
+    program: &'p Program,
+    analysis: Analysis,
+    budget: Budget,
+    opts: SolverOptions,
+) -> Result<AnalysisOutcome<'p>, SolveError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_analysis_opts(program, analysis, budget, opts)
+    }))
+    .map_err(|payload| crate::fault::error_from_panic(None, payload))
+}
+
+/// [`resolve_analysis_opts`] behind the same panic guard as
+/// [`run_analysis_guarded`]. On `Err` the previous outcome is consumed
+/// and lost — callers (the serve loop) fall back to a from-scratch solve
+/// of whatever program they hold.
+pub fn resolve_analysis_guarded<'p>(
+    prev: AnalysisOutcome<'_>,
+    patched: &'p Program,
+    fx: &DeltaEffects,
+    analysis: Analysis,
+    budget: Budget,
+    opts: SolverOptions,
+) -> Result<AnalysisOutcome<'p>, SolveError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        resolve_analysis_opts(prev, patched, fx, analysis, budget, opts)
+    }))
+    .map_err(|payload| crate::fault::error_from_panic(None, payload))
+}
+
+/// Decodes a `CSCDL` delta byte stream behind the `delta-decode` fault
+/// point: injected I/O faults and decode failures both surface as a
+/// string error (the serve protocol's typed `delta-decode` failure), and
+/// injected panics are translated like any guarded panic.
+pub fn decode_delta_guarded(bytes: &[u8]) -> Result<csc_ir::ProgramDelta, String> {
+    crate::fault::hit_io(crate::fault::FaultPoint::DeltaDecode).map_err(|e| e.to_string())?;
+    csc_ir::ProgramDelta::from_bytes(bytes).map_err(|e| format!("{e:?}"))
 }
 
 /// Incremental re-solve for plugin-free analyses: try

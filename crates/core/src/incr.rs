@@ -334,6 +334,7 @@ fn rebase_state<'p>(
         mut stats,
         budget: _,
         started: _,
+        poisoned,
     } = old;
     ci_var_ptrs.resize(patched.vars().len(), ABSENT);
     ci_objs.resize(patched.objs().len(), ABSENT);
@@ -376,6 +377,7 @@ fn rebase_state<'p>(
         call_edges_by_callee,
         stmts: crate::shard::StmtIndex::build(patched),
         stats,
+        poisoned,
         budget,
         started: start,
     }

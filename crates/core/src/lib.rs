@@ -44,6 +44,7 @@
 pub mod clients;
 pub mod context;
 pub mod csc;
+pub mod fault;
 pub mod fx;
 pub mod mem;
 pub mod pts;
@@ -60,8 +61,8 @@ mod shard;
 mod steal;
 
 pub use analyses::{
-    resolve_analysis, resolve_analysis_opts, run_analysis, run_analysis_opts, Analysis,
-    AnalysisOutcome,
+    decode_delta_guarded, resolve_analysis, resolve_analysis_guarded, resolve_analysis_opts,
+    run_analysis, run_analysis_guarded, run_analysis_opts, Analysis, AnalysisOutcome,
 };
 pub use clients::PrecisionMetrics;
 pub use context::{
@@ -69,6 +70,7 @@ pub use context::{
     ObjSelector, SelectiveSelector, TypeSelector,
 };
 pub use csc::{pattern_methods, rebase_compatible, CscConfig, CscStats, CutShortcut};
+pub use fault::{FaultMode, FaultPoint};
 pub use mem::peak_rss_kb;
 pub use pts::{PointsToSet, PtsRepr};
 pub use results::{
@@ -79,8 +81,8 @@ pub use scc::OnlineScc;
 pub use solver::incr::Resolved;
 pub use solver::{
     Budget, CsObjId, DiscoverCtx, EdgeKind, Engine, Event, FallbackReason, NoPlugin, Plugin,
-    PtaResult, PtrId, PtrKey, Reaction, ShortcutKind, SolveStatus, Solver, SolverOptions,
-    SolverState, SolverStats,
+    PtaResult, PtrId, PtrKey, Reaction, ShortcutKind, SolveError, SolveStatus, Solver,
+    SolverOptions, SolverState, SolverStats,
 };
 pub use steal::Quiesce;
 pub use table::{ShardKey, ShardedTable};

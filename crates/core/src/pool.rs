@@ -29,22 +29,38 @@
 //! mutate. The per-dispatch cost is a few small allocations and pointer
 //! moves — versus a spawn/join pair per worker per round before.
 //!
-//! A worker panic is caught, reported as a poisoned result, and re-raised
-//! on the coordinator (and, through the scope, at the solve call site).
-//! In a BSP round the channel protocol inside `run_worker` guarantees
-//! peers unblock (a dropped outbox sender surfaces as a recv error, not a
-//! deadlock); in an async phase the dying worker marks itself permanently
-//! idle with the abort flag set, which is exactly the escape condition
-//! [`AsyncCtrl::wait_quiescent`] waits for.
+//! ## Panic isolation (the typed failure plane)
+//!
+//! A worker panic is caught and reported as a **poisoned outcome** carrying
+//! the recovered shard and a typed [`SolveError`] — it is *never* re-raised,
+//! and the worker itself stays parked and serviceable. The coordinator
+//! surfaces the error through [`WorkerPool::round`] /
+//! [`WorkerPool::steal_phase`], unwinds the round like a budget abort
+//! (derived packets dropped), and marks the solve poisoned; the process
+//! never dies. In a BSP round the channel protocol inside `run_worker`
+//! guarantees peers unblock (a dropped outbox sender surfaces as a recv
+//! error, which cascades each peer into its own caught panic — all `n`
+//! still report); in an async phase the dying worker marks itself
+//! permanently idle with the abort flag set, which is exactly the escape
+//! condition [`AsyncCtrl::wait_quiescent`] waits for. When several workers
+//! report poisoned, the root cause is chosen deterministically: an
+//! injected-fault payload wins over the hung-up-peer cascade, then the
+//! lowest worker index.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{Scope, ScopedJoinHandle};
 
+use crate::fault::{self, FaultMode, FaultPoint};
 use crate::shard::{run_worker, RoundJob, RoundShared, Shard, WorkerResult};
-use crate::solver::Plugin;
+use crate::solver::{Plugin, SolveError};
 use crate::steal::{run_async_worker, AsyncCtrl, BufPool, Msg, ShardCell};
+
+/// The panic message BSP workers die with when a peer's endpoints vanish
+/// mid-round (the peer panicked and dropped its channels). Shared with
+/// `shard.rs` so [`pick_root_cause`] can demote these secondary deaths.
+pub(crate) const PEER_HANGUP: &str = "peer worker hung up";
 
 /// One dispatch to a pooled worker: a bulk-synchronous round or an async
 /// work-stealing phase. The round variant is boxed — it carries seven
@@ -69,14 +85,19 @@ pub(crate) struct StealJob<'p, P> {
 /// result (boxed — the pair dwarfs the dataless steal variant); async
 /// phases return nothing (the coordinator reclaims state from the
 /// cells) — the report is purely the "I have exited the phase and
-/// dropped my `Arc`s" signal.
+/// dropped my `Arc`s" signal. Panicked dispatches report the poisoned
+/// variants: the round one still carries the shard (recovered from the
+/// caught unwind, so the coordinator's slot plane stays whole) plus the
+/// typed error classified from the panic payload.
 enum Outcome {
     Round(Box<(Shard, WorkerResult)>),
+    Poisoned(Box<Shard>, SolveError),
     Steal,
+    PoisonedSteal(SolveError),
 }
 
-/// One worker's report: its index, and `None` when the dispatch panicked.
-type Report = (usize, Option<Outcome>);
+/// One worker's report: its index and the dispatch outcome.
+type Report = (usize, Outcome);
 
 /// The pool: per-worker job senders plus the shared report channel. Lives
 /// inside a [`std::thread::scope`] that spans the whole parallel solve;
@@ -124,17 +145,20 @@ impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p
                             // the coordinator reclaims the Arc's contents
                             // as soon as every report is in.
                             drop(shared);
-                            match outcome {
-                                Ok(result) => {
-                                    let outcome = Outcome::Round(Box::new((shard, result)));
-                                    if report_tx.send((me, Some(outcome))).is_err() {
-                                        break;
-                                    }
-                                }
-                                Err(payload) => {
-                                    let _ = report_tx.send((me, None));
-                                    std::panic::resume_unwind(payload);
-                                }
+                            let outcome = match outcome {
+                                Ok(result) => Outcome::Round(Box::new((shard, result))),
+                                // The caught unwind released its borrow of
+                                // the shard, so the poisoned report can
+                                // still return it — the coordinator's slot
+                                // plane stays whole and the worker stays
+                                // parked and serviceable.
+                                Err(payload) => Outcome::Poisoned(
+                                    Box::new(shard),
+                                    fault::error_from_panic(Some(me), payload),
+                                ),
+                            };
+                            if report_tx.send((me, outcome)).is_err() {
+                                break;
                             }
                         }
                         Job::Steal(StealJob {
@@ -153,18 +177,16 @@ impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p
                             }
                             drop(cells);
                             drop(shared);
-                            match outcome {
-                                Ok(()) => {
-                                    drop(ctrl);
-                                    if report_tx.send((me, Some(Outcome::Steal))).is_err() {
-                                        break;
-                                    }
-                                }
-                                Err(payload) => {
-                                    drop(ctrl);
-                                    let _ = report_tx.send((me, None));
-                                    std::panic::resume_unwind(payload);
-                                }
+                            drop(ctrl);
+                            let outcome = match outcome {
+                                Ok(()) => Outcome::Steal,
+                                Err(payload) => Outcome::PoisonedSteal(fault::error_from_panic(
+                                    Some(me),
+                                    payload,
+                                )),
+                            };
+                            if report_tx.send((me, outcome)).is_err() {
+                                break;
                             }
                         }
                     }
@@ -186,60 +208,131 @@ impl<'scope, 'p: 'scope, P: Plugin + Send + Sync + 'scope> WorkerPool<'scope, 'p
     }
 
     /// Runs one BSP round: sends `jobs[i]` to worker `i`, blocks until
-    /// every worker reports, and returns the results ordered by shard
-    /// index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any worker's round panicked (after all reports are in, so
-    /// no worker is left holding round state).
-    pub(crate) fn round(&self, jobs: Vec<RoundJob<'p, P>>) -> Vec<(Shard, WorkerResult)> {
+    /// every worker reports, and returns the per-shard results ordered by
+    /// shard index. A panicked worker's slot carries its recovered shard
+    /// with no [`WorkerResult`], and `poison` names the root cause; the
+    /// coordinator treats such a round like a budget abort (logs dropped,
+    /// solve marked poisoned) — nothing is re-raised.
+    pub(crate) fn round(&self, jobs: Vec<RoundJob<'p, P>>) -> RoundReport {
         let n = jobs.len();
         debug_assert_eq!(n, self.job_txs.len());
         for (tx, job) in self.job_txs.iter().zip(jobs) {
             tx.send(Job::Round(Box::new(job)))
                 .expect("propagation worker died");
         }
-        let mut slots: Vec<Option<(Shard, WorkerResult)>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<(Shard, Option<WorkerResult>)>> = (0..n).map(|_| None).collect();
+        let mut errors: Vec<Option<SolveError>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (me, outcome) = self.report_rx.recv().expect("propagation worker died");
             slots[me] = match outcome {
-                Some(Outcome::Round(pair)) => Some(*pair),
-                Some(Outcome::Steal) => unreachable!("steal report for a round job"),
-                None => None,
+                Outcome::Round(pair) => {
+                    let (shard, result) = *pair;
+                    Some((shard, Some(result)))
+                }
+                Outcome::Poisoned(shard, err) => {
+                    errors[me] = Some(err);
+                    Some((*shard, None))
+                }
+                Outcome::Steal | Outcome::PoisonedSteal(_) => {
+                    unreachable!("steal report for a round job")
+                }
             };
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("propagation worker panicked"))
-            .collect()
+        RoundReport {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("propagation worker died"))
+                .collect(),
+            poison: pick_root_cause(errors),
+        }
     }
 
     /// Runs one async work-stealing phase: dispatches `jobs`, waits for
     /// quiescence (or an abort with every worker parked), ends the phase,
     /// and collects every worker's exit report so the coordinator can
-    /// safely reclaim the shared state and the shard cells.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any worker died during the phase (after all reports are
-    /// in).
-    pub(crate) fn steal_phase(&self, jobs: Vec<StealJob<'p, P>>, ctrl: &AsyncCtrl) {
+    /// safely reclaim the shared state and the shard cells — then surfaces
+    /// any worker panic (or an armed `quiescence` fault) as a typed error.
+    /// The phase teardown always completes first, so the caller can
+    /// restore shards and requeue leftovers exactly like a budget abort.
+    pub(crate) fn steal_phase(
+        &self,
+        jobs: Vec<StealJob<'p, P>>,
+        ctrl: &AsyncCtrl,
+    ) -> Result<(), SolveError> {
         let n = jobs.len();
         debug_assert_eq!(n, self.job_txs.len());
         for (tx, job) in self.job_txs.iter().zip(jobs) {
             tx.send(Job::Steal(job)).expect("propagation worker died");
         }
+        // The coordinator's quiescence-wait fault point. Err/panic modes
+        // abort the phase *first* and act only after the full teardown
+        // below — a coordinator dying mid-wait would leave the workers
+        // parked inside the phase forever.
+        let q_fault = fault::fires(FaultPoint::Quiescence);
+        match q_fault {
+            Some(FaultMode::Delay) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            Some(_) => ctrl.abort(),
+            None => {}
+        }
         ctrl.wait_quiescent(n);
         ctrl.finish();
-        let mut ok = vec![false; n];
+        let mut errors: Vec<Option<SolveError>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (me, outcome) = self.report_rx.recv().expect("propagation worker died");
-            ok[me] = matches!(outcome, Some(Outcome::Steal));
+            match outcome {
+                Outcome::Steal => {}
+                Outcome::PoisonedSteal(err) => errors[me] = Some(err),
+                Outcome::Round(_) | Outcome::Poisoned(..) => {
+                    unreachable!("round report for a steal job")
+                }
+            }
         }
-        assert!(
-            ok.into_iter().all(|b| b),
-            "propagation worker panicked during async phase"
-        );
+        match q_fault {
+            Some(FaultMode::Panic) => panic!("injected fault: quiescence"),
+            Some(FaultMode::Err) => {
+                return Err(SolveError::Fault {
+                    point: FaultPoint::Quiescence,
+                })
+            }
+            _ => {}
+        }
+        match pick_root_cause(errors) {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
+}
+
+/// The coordinator's view of one BSP round: every worker's shard (always
+/// recovered, even from a panicked dispatch), its result when the dispatch
+/// completed, and the round's root-cause error when any worker panicked.
+pub(crate) struct RoundReport {
+    pub(crate) results: Vec<(Shard, Option<WorkerResult>)>,
+    pub(crate) poison: Option<SolveError>,
+}
+
+/// Chooses the deterministic root cause among per-worker errors. One
+/// panicking worker drops its channel endpoints and the BSP peers die of
+/// `peer worker hung up` — secondary casualties that must not mask the
+/// panic that set them off. Rank: typed injected fault, then any panic
+/// that is *not* the hangup cascade, then the cascade itself; ties break
+/// toward the lowest worker index (the report order).
+fn pick_root_cause(errors: Vec<Option<SolveError>>) -> Option<SolveError> {
+    let mut organic: Option<SolveError> = None;
+    let mut cascade: Option<SolveError> = None;
+    for err in errors.into_iter().flatten() {
+        match &err {
+            SolveError::Fault { .. } => return Some(err),
+            SolveError::Poisoned { payload, .. } => {
+                if payload.contains(PEER_HANGUP) {
+                    if cascade.is_none() {
+                        cascade = Some(err);
+                    }
+                } else if organic.is_none() {
+                    organic = Some(err);
+                }
+            }
+        }
+    }
+    organic.or(cascade)
 }

@@ -237,24 +237,48 @@ pub fn result_cache_dir() -> PathBuf {
         .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/csc-results"))
 }
 
-/// Looks a summary up by key. Any I/O or decode failure is a miss.
+/// Looks a summary up by key. Any I/O or decode failure — or a panic
+/// anywhere in the read path (injected or organic) — is a miss, never an
+/// abort: the cache is an accelerator, not a dependency.
 pub fn load_result(dir: &Path, key: u64) -> Option<SolvedSummary> {
-    let bytes = std::fs::read(dir.join(format!("{key:016x}.bin"))).ok()?;
-    SolvedSummary::from_bytes(&bytes)
+    std::panic::catch_unwind(|| {
+        crate::fault::hit_io(crate::fault::FaultPoint::CacheRead).ok()?;
+        let bytes = std::fs::read(dir.join(format!("{key:016x}.bin"))).ok()?;
+        SolvedSummary::from_bytes(&bytes)
+    })
+    .unwrap_or(None)
 }
 
 /// Stores a summary under a key, best-effort and atomic (temp + rename,
-/// unique per process and call). Callers must only pass summaries of
+/// unique per process and call, so concurrent harness processes sharing a
+/// target dir never clobber each other's temp files). Transient I/O
+/// errors and rename collisions get one bounded retry with a fresh temp
+/// name, then the store is silently skipped; panics in the write path are
+/// contained the same way. Callers must only pass summaries of
 /// **completed** solves.
 pub fn store_result(dir: &Path, key: u64, summary: &SolvedSummary) {
-    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let path = dir.join(format!("{key:016x}.bin"));
-    let _ = std::fs::create_dir_all(dir).and_then(|()| {
-        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-        std::fs::write(&tmp, summary.to_bytes())?;
-        std::fs::rename(&tmp, &path)
+    let _ = std::panic::catch_unwind(|| {
+        let path = dir.join(format!("{key:016x}.bin"));
+        let attempt = || -> std::io::Result<()> {
+            crate::fault::hit_io(crate::fault::FaultPoint::CacheWrite)?;
+            std::fs::create_dir_all(dir)?;
+            let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), next_tmp_seq()));
+            std::fs::write(&tmp, summary.to_bytes())?;
+            std::fs::rename(&tmp, &path).inspect_err(|_| {
+                // A failed rename must not strand the temp file.
+                let _ = std::fs::remove_file(&tmp);
+            })
+        };
+        if attempt().is_err() {
+            let _ = attempt();
+        }
     });
+}
+
+/// Process-unique temp-file sequence shared by cache writers.
+pub fn next_tmp_seq() -> u64 {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 #[cfg(test)]

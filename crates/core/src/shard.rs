@@ -960,6 +960,7 @@ pub(crate) fn run_worker<P: Plugin>(
     erx: Receiver<EdgePacket>,
     bufs: &crate::steal::BufPool<(u32, Arc<PointsToSet>)>,
 ) -> WorkerResult {
+    crate::fault::hit(crate::fault::FaultPoint::WorkerRound);
     let nshards = shared.nshards;
     // Pre-round geometry for this round's fresh stride allocations: the
     // first unallocated stride index, and the shard row where the first
@@ -1017,9 +1018,10 @@ pub(crate) fn run_worker<P: Plugin>(
         }
         stmt.push((PtrId(rep), delta, 0));
     }
+    crate::fault::hit(crate::fault::FaultPoint::OutboxSend);
     for (d, tx) in txs.iter().enumerate() {
         tx.send((me, std::mem::take(&mut out[d])))
-            .expect("peer worker hung up");
+            .expect(crate::pool::PEER_HANGUP);
     }
     drop(txs);
 
@@ -1059,7 +1061,7 @@ pub(crate) fn run_worker<P: Plugin>(
         }
         for (d, tx) in etxs.iter().enumerate() {
             tx.send((me, std::mem::take(&mut eout[d])))
-                .expect("peer worker hung up");
+                .expect(crate::pool::PEER_HANGUP);
         }
         fresh = interner.fresh;
     } else {
@@ -1075,7 +1077,7 @@ pub(crate) fn run_worker<P: Plugin>(
     // makes the merge order — and therefore the newly-queued order —
     // deterministic regardless of thread scheduling.
     let mut packets: Vec<Packet> = (0..nshards)
-        .map(|_| rx.recv().expect("peer worker hung up"))
+        .map(|_| rx.recv().expect(crate::pool::PEER_HANGUP))
         .collect();
     packets.sort_unstable_by_key(|&(src, _)| src);
     let mut newly_queued: Vec<PtrId> = Vec::new();
@@ -1104,7 +1106,7 @@ pub(crate) fn run_worker<P: Plugin>(
     let mut flushes: Vec<(u32, Arc<PointsToSet>)> = Vec::new();
     if shared.commit.is_some() {
         let mut epackets: Vec<EdgePacket> = (0..nshards)
-            .map(|_| erx.recv().expect("peer worker hung up"))
+            .map(|_| erx.recv().expect(crate::pool::PEER_HANGUP))
             .collect();
         epackets.sort_unstable_by_key(|&(src, _)| src);
         // One flush payload per source representative per round, shared

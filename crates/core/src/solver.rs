@@ -357,7 +357,51 @@ pub enum SolveStatus {
     Completed,
     /// The time or propagation budget was exhausted first.
     Timeout,
+    /// A propagation worker panicked (or an injected fault fired) and the
+    /// round was unwound like a budget abort: the state is safe to drop
+    /// and safe to read, but its projections are partial and it must not
+    /// be continued. [`PtaResult::error`] carries the typed cause.
+    Poisoned,
 }
+
+/// A typed, survivable solve failure — the replacement for
+/// panic-as-abort. The process never dies on these: the worker pool
+/// catches the unwind, the coordinator finishes the round teardown
+/// deterministically, and callers receive this alongside a
+/// [`SolveStatus::Poisoned`] result (or through the guarded entry points
+/// `run_analysis_guarded` / `resolve_analysis_guarded` when the panic
+/// happened coordinator-side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// A panic escaped a propagation worker (`worker = Some(i)`) or the
+    /// coordinator / sequential engine (`worker = None`); `payload` is the
+    /// stringified panic payload.
+    Poisoned {
+        /// Index of the panicking pool worker, `None` for the coordinator.
+        worker: Option<usize>,
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// An armed [`crate::fault::FaultPoint`] fired in `err` mode.
+    Fault {
+        /// The fault point that fired.
+        point: crate::fault::FaultPoint,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Poisoned { worker, payload } => match worker {
+                Some(w) => write!(f, "solve poisoned: worker {w} panicked: {payload}"),
+                None => write!(f, "solve poisoned: {payload}"),
+            },
+            SolveError::Fault { point } => write!(f, "injected fault at {point}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Resource limits, emulating the paper's 2-hour budget.
 #[derive(Copy, Clone, Debug, Default)]
@@ -826,6 +870,10 @@ pub struct SolverState<'p> {
     pub stats: SolverStats,
     budget: Budget,
     started: Instant,
+    /// Set when a propagation worker panicked and the solve was unwound:
+    /// the state is safe to drop and to read (partial projections) but
+    /// must never be continued or rebased.
+    poisoned: bool,
 }
 
 impl<'p> SolverState<'p> {
@@ -872,7 +920,14 @@ impl<'p> SolverState<'p> {
             stats,
             budget,
             started: Instant::now(),
+            poisoned: false,
         }
+    }
+
+    /// Whether a worker panic poisoned this state (see
+    /// [`SolveStatus::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     // ---- interning -------------------------------------------------------
@@ -1743,7 +1798,7 @@ impl<'p> SolverState<'p> {
         selector: &S,
         plugin: &mut Option<P>,
         pool: &crate::pool::WorkerPool<'scope, 'p, P>,
-    ) -> bool
+    ) -> Phase
     where
         S: ContextSelector,
         P: Plugin + Send + Sync + 'scope,
@@ -1772,10 +1827,10 @@ impl<'p> SolverState<'p> {
             let p = plugin.as_ref().expect("plugin present between rounds");
             for (rep, incoming) in batch {
                 if !self.step(selector, p, PtrId(rep), incoming) {
-                    return false;
+                    return Phase::Budget;
                 }
             }
-            return true;
+            return Phase::Done;
         }
 
         self.stats.parallel_rounds += 1;
@@ -1840,7 +1895,7 @@ impl<'p> SolverState<'p> {
         // Parallel phase: the pooled workers run; the coordinator only
         // waits at the barrier. This span is what `parallel_secs` counts.
         let par_start = Instant::now();
-        let results = pool.round(jobs);
+        let report = pool.round(jobs);
         self.stats.parallel_secs += par_start.elapsed().as_secs_f64();
 
         // Reclaim the frozen state: every worker dropped its Arc clone
@@ -1870,8 +1925,10 @@ impl<'p> SolverState<'p> {
         let mut edge_logs = Vec::with_capacity(n);
         let mut flush_logs = Vec::with_capacity(n);
         let mut timed_out = false;
-        for (i, (shard, r)) in results.into_iter().enumerate() {
+        let poison = report.poison;
+        for (i, (shard, r)) in report.results.into_iter().enumerate() {
             self.slots.shards[i] = shard;
+            let Some(r) = r else { continue };
             self.stats.propagations += r.propagations;
             self.queue.extend(r.newly_queued);
             stmt_groups.push((r.stmt, r.derived));
@@ -1879,6 +1936,18 @@ impl<'p> SolverState<'p> {
             edge_logs.push(r.edges);
             flush_logs.push(r.flushes);
             timed_out |= r.timed_out;
+        }
+
+        // A poisoned round unwinds like a budget abort, but *harder*: the
+        // panicked worker's fresh-id and edge logs are gone, so running
+        // reconciliation on the surviving logs could leave peers' packets
+        // referencing ids the slot plane never registered. Every round log
+        // is dropped wholesale, the worklist is cleared, and the state is
+        // marked poisoned — safe to drop and to read, never continued.
+        if let Some(err) = poison {
+            self.poisoned = true;
+            self.queue.clear();
+            return Phase::Poisoned(err);
         }
 
         // Commit section (what `commit_secs` measures): reconcile the
@@ -1930,7 +1999,11 @@ impl<'p> SolverState<'p> {
             true
         };
         self.stats.commit_secs += commit_start.elapsed().as_secs_f64();
-        ok
+        if ok {
+            Phase::Done
+        } else {
+            Phase::Budget
+        }
     }
 
     /// One async work-stealing propagation phase (`CSC_ENGINE=async`, the
@@ -1952,13 +2025,15 @@ impl<'p> SolverState<'p> {
     /// the *whole* phase commits in one pass — the async engine removes
     /// round barriers, not the discover/commit split.
     ///
-    /// Returns `false` when the budget was exhausted.
+    /// Returns [`Phase::Budget`] when the budget was exhausted and
+    /// [`Phase::Poisoned`] when a worker died (or an injected fault
+    /// fired); either way the phase teardown has already completed.
     fn async_phase<'scope, S, P>(
         &mut self,
         selector: &S,
         plugin: &mut Option<P>,
         pool: &crate::pool::WorkerPool<'scope, 'p, P>,
-    ) -> bool
+    ) -> Phase
     where
         S: ContextSelector,
         P: Plugin + Send + Sync + 'scope,
@@ -1985,10 +2060,10 @@ impl<'p> SolverState<'p> {
             let p = plugin.as_ref().expect("plugin present between rounds");
             for (rep, incoming) in batch {
                 if !self.step(selector, p, PtrId(rep), incoming) {
-                    return false;
+                    return Phase::Budget;
                 }
             }
-            return true;
+            return Phase::Done;
         }
 
         self.stats.pause_count += 1;
@@ -2049,7 +2124,7 @@ impl<'p> SolverState<'p> {
         // Parallel phase: the workers propagate to quiescence (or abort);
         // the coordinator only waits on the detector.
         let par_start = Instant::now();
-        pool.steal_phase(jobs, &ctrl);
+        let phase_err = pool.steal_phase(jobs, &ctrl).err();
         self.stats.parallel_secs += par_start.elapsed().as_secs_f64();
 
         // Reclaim the frozen state: every worker dropped its Arcs before
@@ -2089,6 +2164,16 @@ impl<'p> SolverState<'p> {
         // normal enqueue path.
         for (trep, payload) in ctrl.drain_leftovers() {
             self.enqueue(PtrId(trep), &payload);
+        }
+
+        // A poisoned phase (worker panic or injected fault) unwinds like a
+        // budget abort — derived packets dropped, shards already restored
+        // above — but the state is marked dead: safe to drop and to read,
+        // never continued.
+        if let Some(err) = phase_err {
+            self.poisoned = true;
+            self.queue.clear();
+            return Phase::Poisoned(err);
         }
 
         // Commit section: replay the phase's derived packets in (shard,
@@ -2134,7 +2219,11 @@ impl<'p> SolverState<'p> {
             true
         };
         self.stats.commit_secs += commit_start.elapsed().as_secs_f64();
-        ok
+        if ok {
+            Phase::Done
+        } else {
+            Phase::Budget
+        }
     }
 
     /// The commit plane's coordinator-side reconciliation, run once per
@@ -2399,6 +2488,18 @@ impl<'p> SolverState<'p> {
     }
 }
 
+/// The outcome of one parallel phase (a BSP round or an async
+/// work-stealing phase), as seen by the engine loop.
+enum Phase {
+    /// Committed; keep draining.
+    Done,
+    /// Budget exhausted; the solve ends with [`SolveStatus::Timeout`].
+    Budget,
+    /// A worker panicked or an injected fault fired; the solve ends with
+    /// [`SolveStatus::Poisoned`] and this typed cause.
+    Poisoned(SolveError),
+}
+
 /// A configured pointer-analysis run.
 pub struct Solver<'p, S, P> {
     state: SolverState<'p>,
@@ -2416,6 +2517,8 @@ pub struct PtaResult<'p> {
     pub elapsed: Duration,
     /// The selector name (e.g. `"ci"`, `"2obj"`).
     pub analysis: String,
+    /// The typed cause when `status` is [`SolveStatus::Poisoned`].
+    pub error: Option<SolveError>,
 }
 
 impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
@@ -2478,7 +2581,8 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
             selector,
             mut plugin,
         } = self;
-        let status = if state.nthreads > 1 {
+        crate::fault::init();
+        let (status, error) = if state.nthreads > 1 {
             // Sharded parallel engine: rounds of parallel propagation with
             // sequential coordinator phases in between, the workers parked
             // in a pool that lives for the whole solve. Plugin events are
@@ -2487,7 +2591,7 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
             // fully quiescent round (no worklist entries, no events).
             let nthreads = state.nthreads;
             let mut slot = Some(plugin);
-            let status = std::thread::scope(|scope| {
+            let outcome = std::thread::scope(|scope| {
                 let pool = crate::pool::WorkerPool::start(scope, nthreads);
                 loop {
                     if state.should_collapse() {
@@ -2495,25 +2599,29 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
                         state.collapse_cycles(&selector, p);
                     }
                     if !state.queue.is_empty() {
-                        let ok = if state.async_engine {
+                        let phase = if state.async_engine {
                             state.async_phase(&selector, &mut slot, &pool)
                         } else {
                             state.parallel_round(&selector, &mut slot, &pool)
                         };
-                        if !ok {
-                            break SolveStatus::Timeout;
+                        match phase {
+                            Phase::Done => {}
+                            Phase::Budget => break (SolveStatus::Timeout, None),
+                            Phase::Poisoned(err) => {
+                                break (SolveStatus::Poisoned, Some(err));
+                            }
                         }
                     } else if let Some(ev) = state.events.pop_front() {
                         slot.as_mut()
                             .expect("plugin present between rounds")
                             .handle(&mut state, ev);
                     } else {
-                        break SolveStatus::Completed;
+                        break (SolveStatus::Completed, None);
                     }
                 }
             });
             plugin = slot.expect("plugin restored after the solve");
-            status
+            outcome
         } else {
             // The sequential engine (threads = 1), byte-for-byte the
             // pre-parallel behavior: per-pointer steps, events at
@@ -2524,6 +2632,11 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
                     state.collapse_cycles(&selector, &plugin);
                 }
                 if let Some(ptr) = state.queue.pop_front() {
+                    // The sequential engine's unit of round work. A panic
+                    // here (injected or organic) unwinds to the caller;
+                    // the guarded entry points translate it into a typed
+                    // `SolveError`.
+                    crate::fault::hit(crate::fault::FaultPoint::WorkerRound);
                     // Canonicalize: the pointer may have been merged into an
                     // SCC after it was queued.
                     let ptr = state.repr(ptr);
@@ -2538,7 +2651,7 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
                     break;
                 }
             }
-            status
+            (status, None)
         };
         let elapsed = start.elapsed();
         // The Amdahl split: everything that is not a parallel phase is
@@ -2551,6 +2664,7 @@ impl<'p, S: ContextSelector, P: Plugin> Solver<'p, S, P> {
                 status,
                 elapsed,
                 analysis: selector.name().to_owned(),
+                error,
             },
             plugin,
         )

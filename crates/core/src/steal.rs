@@ -391,6 +391,15 @@ impl AsyncCtrl {
         self.quiesce.enter_idle();
     }
 
+    /// Coordinator-side abort (fault injection, external cancellation):
+    /// workers stop taking work and park, and
+    /// [`AsyncCtrl::wait_quiescent`]'s abort escape fires once they have.
+    /// Unlike [`AsyncCtrl::mark_dead`] this does not park an idle slot —
+    /// the coordinator is not a counted worker.
+    pub(crate) fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
     /// Folds `n` fresh propagations into the phase-global count; trips the
     /// abort flag when the budget is blown.
     fn note_props(&self, n: u64) {
@@ -451,6 +460,7 @@ fn work_shard<P: Plugin>(
     out: &mut [MsgBatch],
     limit: usize,
 ) -> usize {
+    crate::fault::hit(crate::fault::FaultPoint::WorkerRound);
     let cell = &cells[victim];
     let mut guard = if victim == me {
         lock_ok(&cell.slot)
@@ -609,6 +619,7 @@ fn drain_inbox<P: Plugin>(
 /// messages as outstanding work *before* they become visible, upholding
 /// the quiescence protocol.
 fn flush_out(ctrl: &AsyncCtrl, out: &mut [MsgBatch]) {
+    crate::fault::hit(crate::fault::FaultPoint::OutboxSend);
     for (d, buf) in out.iter_mut().enumerate() {
         if buf.is_empty() {
             continue;

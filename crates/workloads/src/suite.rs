@@ -222,22 +222,41 @@ fn compile_with_cache_dir(bench: &Benchmark, dir: &std::path::Path) -> csc_ir::P
     let mut key = fnv1a64(source.as_bytes());
     key ^= u64::from(csc_frontend::LOWERING_VERSION).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let path = dir.join(format!("{}-{key:016x}.bin", bench.name));
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(program) = csc_ir::Program::from_bytes(&bytes) {
-            return program;
-        }
-        // Corrupt or stale-format entry: fall through and overwrite.
+    // Any failure in the read path — I/O error, corrupt entry, injected
+    // `cache-read` fault, even a panic — reads as a miss and falls back
+    // to lowering: the cache accelerates, it never gates.
+    let hit = std::panic::catch_unwind(|| {
+        csc_core::fault::hit_io(csc_core::fault::FaultPoint::CacheRead).ok()?;
+        let bytes = std::fs::read(&path).ok()?;
+        csc_ir::Program::from_bytes(&bytes).ok()
+    })
+    .unwrap_or(None);
+    if let Some(program) = hit {
+        return program;
     }
     let program = csc_frontend::compile(&source).expect("generated benchmark compiles");
     // Best-effort write; a read-only target dir must not fail the run.
     // The temp name is unique per process *and* per call, so concurrent
-    // processes and concurrent threads both rename disjoint files.
-    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let _ = std::fs::create_dir_all(dir).and_then(|()| {
-        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-        std::fs::write(&tmp, program.to_bytes())?;
-        std::fs::rename(&tmp, &path)
+    // processes and concurrent threads both rename disjoint files; a
+    // transient I/O error or rename collision gets one bounded retry with
+    // a fresh temp name, then the write is skipped.
+    let _ = std::panic::catch_unwind(|| {
+        let attempt = || -> std::io::Result<()> {
+            csc_core::fault::hit_io(csc_core::fault::FaultPoint::CacheWrite)?;
+            std::fs::create_dir_all(dir)?;
+            let tmp = path.with_extension(format!(
+                "tmp.{}.{}",
+                std::process::id(),
+                csc_core::results::next_tmp_seq()
+            ));
+            std::fs::write(&tmp, program.to_bytes())?;
+            std::fs::rename(&tmp, &path).inspect_err(|_| {
+                let _ = std::fs::remove_file(&tmp);
+            })
+        };
+        if attempt().is_err() {
+            let _ = attempt();
+        }
     });
     program
 }
